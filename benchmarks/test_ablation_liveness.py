@@ -1,0 +1,54 @@
+"""Ablation — data-flow liveness sets vs liveness checking.
+
+Figure 6/7 attribute most of the speed and memory gains to dropping the
+explicit liveness sets (and the interference graph).  This ablation measures
+the two liveness oracles in isolation: construction plus a fixed batch of
+queries, and their idealised footprints.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.liveness.dataflow import LivenessSets
+from repro.liveness.livecheck import LivenessChecker
+
+
+ORACLES = {"sets": LivenessSets, "check": LivenessChecker}
+
+
+@pytest.mark.parametrize("kind", list(ORACLES), ids=list(ORACLES))
+def test_benchmark_liveness_oracle(benchmark, small_suite, kind):
+    functions = [fn for functions in small_suite.values() for fn in functions]
+    oracle_class = ORACLES[kind]
+
+    def run():
+        answered = 0
+        for function in functions:
+            oracle = oracle_class(function)
+            variables = function.variables()
+            for block in function.blocks:
+                for var in variables[:20]:
+                    answered += oracle.is_live_out(block, var)
+        return answered
+
+    benchmark(run)
+
+
+def test_liveness_footprint_comparison(benchmark, small_suite, results_dir):
+    functions = [fn for functions in small_suite.values() for fn in functions]
+
+    def measure():
+        return (
+            sum(LivenessSets(fn).footprint_bytes() for fn in functions),
+            sum(LivenessChecker(fn).footprint_bytes() for fn in functions),
+        )
+
+    sets_bytes, check_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "ablation_liveness.txt",
+        "liveness structure footprints (bytes)\n"
+        f"  live-in/live-out ordered sets: {sets_bytes}\n"
+        f"  liveness checking structures:  {check_bytes}\n",
+    )
+    assert check_bytes < sets_bytes

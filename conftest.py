@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Makes the ``repro`` package importable directly from ``src/`` so the test and
+benchmark suites run even when the package has not been pip-installed (useful
+in fully offline environments).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,42 @@
+"""Reproduce (a small slice of) the paper's Figure 5 from the command line.
+
+Compares the seven coalescing strategies — Intersect, Sreedhar I, Chaitin,
+Value, Sreedhar III, Value + IS, Sharing — on a few synthetic benchmarks and
+prints the remaining-copy ratios, normalised to Intersect, exactly like the
+paper's Figure 5.  Use ``--scale`` and ``--benchmarks`` to grow the workload.
+
+Run with:  python examples/coalescing_quality.py [--scale 0.5] [--benchmarks 164.gzip,176.gcc]
+"""
+
+import argparse
+
+from repro.bench.harness import run_figure5
+from repro.bench.reporting import format_figure5
+from repro.bench.suite import SUITE, build_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="workload scale factor (1.0 = full synthetic suite)")
+    parser.add_argument("--benchmarks", type=str, default="164.gzip,176.gcc,254.gap",
+                        help="comma-separated benchmark names, or 'all'")
+    args = parser.parse_args()
+
+    if args.benchmarks.strip() == "all":
+        names = [spec.name for spec in SUITE]
+    else:
+        names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+
+    print(f"generating {len(names)} synthetic benchmarks at scale {args.scale} ...")
+    suite = build_suite(scale=args.scale, benchmarks=names)
+    rows = run_figure5(suite)
+    print()
+    print("Figure 5 — remaining copies after coalescing, normalised to 'Intersect'")
+    print("(absolute static copy counts in parentheses)")
+    print()
+    print(format_figure5(rows))
+
+
+if __name__ == "__main__":
+    main()

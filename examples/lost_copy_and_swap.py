@@ -1,0 +1,51 @@
+"""The lost-copy and swap problems: why naive φ-elimination is wrong.
+
+Reproduces the discussion of the paper's §II (Figures 3 and 4): the naive
+Cytron-style replacement of φ-functions by copies in the predecessor blocks
+miscompiles both programs, while the coalescing-based translation handles them
+with the minimum number of copies (one surviving copy for the lost-copy
+program, a three-copy swap for the swap program).
+
+Run with:  python examples/lost_copy_and_swap.py
+"""
+
+from repro.bench.metrics import copy_counts
+from repro.gallery import figure3_swap_problem, figure4_lost_copy_problem
+from repro.interp import run_function
+from repro.ir import format_function
+from repro.outofssa import destruct_ssa, naive_destruction
+from repro.outofssa.driver import DEFAULT_ENGINE
+
+
+def show(title: str, maker, args) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    reference = run_function(maker(), args)
+    print("expected behaviour:", reference.return_value, reference.trace)
+
+    # Naive translation: copies at the end of each predecessor, no isolation.
+    broken = naive_destruction(maker())
+    broken_result = run_function(broken, args)
+    print("naive translation :", broken_result.return_value, broken_result.trace,
+          "  <-- WRONG" if broken_result.observable() != reference.observable() else "")
+
+    # The paper's translation.
+    function = maker()
+    destruct_ssa(function, DEFAULT_ENGINE)
+    fixed_result = run_function(function, args)
+    status = "correct" if fixed_result.observable() == reference.observable() else "WRONG"
+    print("paper's engine    :", fixed_result.return_value, fixed_result.trace, f"  ({status})")
+    print("remaining copies  :", copy_counts(function).static_copies)
+    print()
+    print(format_function(function))
+    print()
+
+
+def main() -> None:
+    show("Figure 4 — the lost-copy problem", figure4_lost_copy_problem, [6])
+    show("Figure 3 — the swap problem", figure3_swap_problem, [4, 7, 9])
+
+
+if __name__ == "__main__":
+    main()

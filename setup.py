@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package (needed for PEP 660 editable
+wheels) is not available: pip falls back to the legacy ``setup.py develop``
+code path.
+"""
+
+from setuptools import setup
+
+setup()

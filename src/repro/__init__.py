@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Revisiting Out-of-SSA Translation for
+Correctness, Code Quality, and Efficiency" (Boissinot, Darte, Rastello,
+Dupont de Dinechin, Guillon — CGO 2009).
+
+The package is organised in small sub-packages (see README.md / DESIGN.md);
+this top-level module re-exports the handful of entry points most users need:
+
+* building / parsing programs: :class:`~repro.ir.builder.FunctionBuilder`,
+  :func:`~repro.ir.parser.parse_function`, :func:`~repro.ir.printer.format_function`;
+* bringing code to (non-conventional) SSA: :func:`~repro.ssa.construction.construct_ssa`,
+  :func:`~repro.ssa.copy_folding.fold_copies`, :func:`~repro.ssa.copy_folding.value_number`;
+* leaving SSA: :func:`~repro.outofssa.driver.destruct_ssa` with
+  :data:`~repro.outofssa.driver.ENGINE_CONFIGURATIONS` (the paper's Figure 6/7
+  engines) and the Figure 5 coalescing strategies in
+  :data:`~repro.coalescing.variants.VARIANTS`;
+* checking behaviour: :func:`~repro.interp.interpreter.run_function`;
+* regenerating the paper's experiments: :mod:`repro.bench`.
+"""
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.interp.interpreter import run_function
+from repro.outofssa.driver import (
+    DEFAULT_ENGINE,
+    ENGINE_CONFIGURATIONS,
+    EngineConfig,
+    OutOfSSAResult,
+    destruct_ssa,
+    engine_by_name,
+)
+from repro.coalescing.variants import VARIANTS, variant_by_name
+from repro.ssa.construction import construct_ssa
+from repro.ssa.copy_folding import fold_copies, value_number
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Function",
+    "FunctionBuilder",
+    "parse_function",
+    "format_function",
+    "run_function",
+    "destruct_ssa",
+    "DEFAULT_ENGINE",
+    "ENGINE_CONFIGURATIONS",
+    "EngineConfig",
+    "OutOfSSAResult",
+    "engine_by_name",
+    "VARIANTS",
+    "variant_by_name",
+    "construct_ssa",
+    "fold_copies",
+    "value_number",
+    "__version__",
+]

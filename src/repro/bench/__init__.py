@@ -1,0 +1,33 @@
+"""Workload generation, metrics and the experiment harness (Figures 5-7)."""
+
+from repro.bench.generator import GeneratorConfig, generate_program, generate_ssa_program
+from repro.bench.suite import BenchmarkSpec, SUITE, build_suite, build_benchmark
+from repro.bench.metrics import copy_counts, CopyCounts
+from repro.bench.harness import (
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    headline_summary,
+    Figure5Row,
+    Figure6Row,
+    Figure7Row,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_program",
+    "generate_ssa_program",
+    "BenchmarkSpec",
+    "SUITE",
+    "build_suite",
+    "build_benchmark",
+    "copy_counts",
+    "CopyCounts",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "headline_summary",
+    "Figure5Row",
+    "Figure6Row",
+    "Figure7Row",
+]

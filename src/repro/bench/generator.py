@@ -1,0 +1,285 @@
+"""Synthetic workload generator (the SPEC CINT2000 substitute).
+
+The paper evaluates its algorithms on SPEC CINT2000 compiled by a production
+compiler; we cannot ship that, so this module generates *structured random
+programs* with the features that matter for out-of-SSA translation:
+
+* nested loops (back-edge φs, inner-loop copy weights), including optional
+  hardware-loop ``br_dec`` counters;
+* if/else ladders creating join-point φs and critical edges;
+* plenty of copies and redundant computations, so that SSA construction
+  followed by copy folding / value numbering produces genuinely
+  non-conventional SSA (overlapping φ-webs: swaps, rotations, lost copies);
+* observable effects (``print``) and a bounded iteration structure so the
+  interpreter can compare behaviour before and after translation;
+* optional calls with calling-convention pinning (register renaming
+  constraints).
+
+All randomness is drawn from a seeded :class:`random.Random`, so workloads are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Constant, Copy, Variable
+from repro.ir.validate import validate_function, validate_ssa
+from repro.outofssa.pinning import apply_calling_convention
+from repro.ssa.cleanup import remove_dead_code, remove_trivial_phis
+from repro.ssa.construction import construct_ssa
+from repro.ssa.copy_folding import fold_copies, value_number
+
+
+_BINARY_OPCODES = ["add", "sub", "mul", "and", "or", "xor", "min", "max"]
+_COMPARE_OPCODES = ["cmp_lt", "cmp_le", "cmp_gt", "cmp_ge", "cmp_eq", "cmp_ne"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable shape of one generated function."""
+
+    seed: int = 0
+    name: str = "generated"
+    num_params: int = 2
+    num_locals: int = 6
+    #: Overall statement budget (drives the number of blocks).
+    size: int = 40
+    max_depth: int = 3
+    loop_probability: float = 0.28
+    if_probability: float = 0.34
+    copy_probability: float = 0.30
+    print_probability: float = 0.08
+    call_probability: float = 0.05
+    swap_probability: float = 0.12
+    #: Probability of emitting "b = a; c = a" style duplicated copies whose
+    #: targets stay live together — the situations where value-based
+    #: interference wins over Chaitin / intersection (paper §III-A).
+    dup_copy_probability: float = 0.12
+    use_br_dec: bool = True
+    max_loop_iterations: int = 6
+    #: Post-SSA cleanups that make the program non-conventional.
+    fold_copies: bool = True
+    #: Fraction of foldable copies that actually get folded; the rest survive
+    #: as explicit copies, as in real optimizers (rematerialization,
+    #: scheduling and range-splitting decisions keep some copies around).
+    fold_fraction: float = 0.5
+    value_number: bool = True
+    #: Insert calling-convention pinning copies around calls.
+    apply_abi: bool = False
+
+
+class _ProgramGenerator:
+    """Builds one structured random (non-SSA) function."""
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        params = tuple(f"p{i}" for i in range(config.num_params))
+        self.fb = FunctionBuilder(config.name, params=params)
+        self.variables: List[Variable] = [self.fb.var(name) for name in params]
+        self.locals: List[Variable] = [self.fb.var(f"v{i}") for i in range(config.num_locals)]
+        self.budget = config.size
+        self._block_counter = 0
+        self._loop_counter = 0
+
+    # -- helpers ------------------------------------------------------------------
+    def _new_block(self, hint: str):
+        self._block_counter += 1
+        return self.fb.block(f"{hint}{self._block_counter}")
+
+    def _pick_var(self) -> Variable:
+        return self.rng.choice(self.variables + self.locals)
+
+    def _pick_local(self) -> Variable:
+        return self.rng.choice(self.locals)
+
+    def _pick_operand(self):
+        if self.rng.random() < 0.25:
+            return self.rng.randint(-4, 10)
+        return self._pick_var()
+
+    # -- statement emission -----------------------------------------------------------
+    def _emit_straight_line(self) -> None:
+        roll = self.rng.random()
+        config = self.config
+        fb = self.fb
+        if roll < config.dup_copy_probability:
+            # Duplicated copies of one source, all kept live by later prints:
+            # after SSA + partial folding these become the overlapping
+            # same-value live ranges that distinguish the Value rule.
+            source = self._pick_var()
+            # Live-range-split style copies: the optimizer is required to keep
+            # them (see the ``should_fold`` hook in ``generate_ssa_program``),
+            # so after SSA construction the two targets and the source have
+            # genuinely overlapping, same-value live ranges — the situation of
+            # the paper's §III-A example (b = a; c = a).
+            first = fb.fresh("split")
+            second = fb.fresh("split")
+            fb.copy(first, source)
+            fb.copy(second, source)
+            # Keep source and both targets live past each other's definitions.
+            fb.print(source)
+            fb.print(first)
+            fb.print(second)
+            if self.rng.random() < 0.5:
+                fb.copy(self._pick_local(), self.rng.choice([first, second]))
+        elif roll < config.dup_copy_probability + config.copy_probability:
+            fb.copy(self._pick_local(), self._pick_var())
+        elif roll < config.dup_copy_probability + config.copy_probability + config.swap_probability:
+            # A source-level swap: the classic generator of φ-cycles.
+            a, b = self._pick_local(), self._pick_local()
+            if a != b:
+                temp = fb.fresh("tmp")
+                fb.copy(temp, a)
+                fb.copy(a, b)
+                fb.copy(b, temp)
+            else:
+                fb.copy(a, self._pick_var())
+        elif roll < (config.dup_copy_probability + config.copy_probability
+                     + config.swap_probability + config.print_probability):
+            fb.print(self._pick_var())
+        elif roll < (config.dup_copy_probability + config.copy_probability
+                     + config.swap_probability + config.print_probability
+                     + config.call_probability):
+            args = [self._pick_operand() for _ in range(self.rng.randint(1, 3))]
+            result = fb.call(f"ext{self.rng.randint(0, 3)}", *args)
+            fb.copy(self._pick_local(), result)
+        else:
+            opcode = self.rng.choice(_BINARY_OPCODES)
+            dst = self._pick_local()
+            fb.op(opcode, self._pick_operand(), self._pick_operand(), name=dst.name)
+
+    def _emit_sequence(self, depth: int, length: int) -> None:
+        """Emit ``length`` statements into the current block chain."""
+        for _ in range(length):
+            if self.budget <= 0:
+                return
+            roll = self.rng.random()
+            if depth < self.config.max_depth and roll < self.config.loop_probability:
+                self._emit_loop(depth)
+            elif depth < self.config.max_depth and roll < self.config.loop_probability + self.config.if_probability:
+                self._emit_if(depth)
+            else:
+                self.budget -= 1
+                self._emit_straight_line()
+
+    def _emit_if(self, depth: int) -> None:
+        self.budget -= 2
+        fb = self.fb
+        then_block = self._new_block("then")
+        else_block = self._new_block("else")
+        join_block = self._new_block("join")
+
+        cond = fb.op(self.rng.choice(_COMPARE_OPCODES), self._pick_var(), self._pick_operand())
+        fb.branch(cond, then_block, else_block)
+
+        inner = max(1, self.rng.randint(1, 3))
+        with fb.at(then_block):
+            self._emit_sequence(depth + 1, inner)
+            fb.jump(join_block)
+        with fb.at(else_block):
+            if self.rng.random() < 0.3:
+                # One empty arm: creates a critical edge after SSA construction.
+                fb.jump(join_block)
+            else:
+                self._emit_sequence(depth + 1, inner)
+                fb.jump(join_block)
+
+        self.fb._current = join_block  # continue emitting in the join block
+
+    def _emit_loop(self, depth: int) -> None:
+        self.budget -= 3
+        fb = self.fb
+        config = self.config
+        self._loop_counter += 1
+        iterations = self.rng.randint(2, config.max_loop_iterations)
+
+        use_br_dec = config.use_br_dec and self.rng.random() < 0.25
+        if use_br_dec:
+            counter = fb.var(f"hwloop{self._loop_counter}")
+            fb.op("const", iterations, name=counter.name)
+            body_block = self._new_block("hwbody")
+            exit_block = self._new_block("hwexit")
+            fb.jump(body_block)
+            with fb.at(body_block):
+                self._emit_sequence(depth + 1, self.rng.randint(1, 3))
+                fb.br_dec(counter, body_block, exit_block)
+            self.fb._current = exit_block
+            return
+
+        counter = fb.var(f"i{self._loop_counter}")
+        limit = fb.var(f"lim{self._loop_counter}")
+        fb.op("const", 0, name=counter.name)
+        fb.op("const", iterations, name=limit.name)
+        header = self._new_block("header")
+        body_block = self._new_block("body")
+        exit_block = self._new_block("exit")
+        fb.jump(header)
+        with fb.at(header):
+            cond = fb.op("cmp_lt", counter, limit)
+            fb.branch(cond, body_block, exit_block)
+        with fb.at(body_block):
+            self._emit_sequence(depth + 1, self.rng.randint(1, 4))
+            fb.op("add", counter, 1, name=counter.name)
+            fb.jump(header)
+        self.fb._current = exit_block
+
+    # -- top level ------------------------------------------------------------------------
+    def build(self) -> Function:
+        fb = self.fb
+        entry = self._new_block("entry")
+        self.fb._current = entry
+        # Initialise every local so no path reads an undefined value.
+        for index, local in enumerate(self.locals):
+            fb.op("const", (index * 7 + 3) % 11, name=local.name)
+
+        self._emit_sequence(0, max(3, self.config.size // 3))
+
+        # Observable epilogue: print and return a mix of the locals.
+        result = self.locals[0]
+        for local in self.locals[1:3]:
+            result = fb.op("add", result, local, name=fb.fresh("sum").name)
+        for local in self.locals[:2]:
+            fb.print(local)
+        fb.print(result)
+        fb.ret(result)
+
+        function = fb.finish()
+        validate_function(function)
+        return function
+
+
+def generate_program(config: GeneratorConfig) -> Function:
+    """Generate a structured random *non-SSA* function."""
+    return _ProgramGenerator(config).build()
+
+
+def generate_ssa_program(config: GeneratorConfig) -> Function:
+    """Generate a random function and bring it to (generally non-CSSA) SSA form."""
+    function = generate_program(config)
+    construct_ssa(function)
+    if config.value_number:
+        value_number(function)
+    if config.fold_copies:
+        fold_rng = random.Random(config.seed ^ 0x5F5F5F)
+
+        def should_fold(copy: Copy) -> bool:
+            # Live-range-split copies are kept by construction (they model the
+            # copies a real optimizer must preserve); the rest fold with
+            # probability ``fold_fraction``.
+            if copy.dst.name.startswith("split"):
+                return False
+            return fold_rng.random() < config.fold_fraction
+
+        fold_copies(function, should_fold=should_fold)
+    remove_trivial_phis(function)
+    remove_dead_code(function)
+    if config.apply_abi:
+        apply_calling_convention(function)
+    validate_ssa(function)
+    return function

@@ -1,0 +1,235 @@
+"""Experiment harness regenerating the paper's Figures 5, 6 and 7.
+
+Each ``run_figureN`` function takes the synthetic suite (``{benchmark name:
+[SSA functions]}``), runs the relevant engines/variants on *copies* of every
+function, and returns one row per benchmark (plus a ``sum`` row, as in the
+paper's plots).  The rows carry both raw values and the normalised ratios the
+paper plots (Figure 5 normalises to the ``Intersect`` strategy, Figures 6 and
+7 to the ``Sreedhar III`` engine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.memory import MemoryFootprint, footprint_of
+from repro.bench.metrics import CopyCounts, copy_counts
+from repro.cfg.frequency import estimate_block_frequencies
+from repro.coalescing.variants import VARIANTS, CoalescingVariant
+from repro.ir.function import Function
+from repro.outofssa.driver import (
+    ENGINE_CONFIGURATIONS,
+    EngineConfig,
+    destruct_ssa,
+)
+
+
+# --------------------------------------------------------------------------- Figure 5
+#: Engine template used to compare the coalescing strategies of Figure 5: no
+#: interference graph, liveness checking, quadratic class checks (valid for
+#: every interference notion).
+_FIGURE5_TEMPLATE = dict(
+    liveness="check",
+    use_interference_graph=False,
+    linear_class_check=False,
+)
+
+
+@dataclass
+class Figure5Row:
+    """Remaining copies per coalescing strategy for one benchmark."""
+
+    benchmark: str
+    static_copies: Dict[str, int] = field(default_factory=dict)
+    weighted_copies: Dict[str, float] = field(default_factory=dict)
+    ratios: Dict[str, float] = field(default_factory=dict)
+
+    def compute_ratios(self, baseline: str = "intersect") -> None:
+        base = self.static_copies.get(baseline, 0)
+        for name, value in self.static_copies.items():
+            self.ratios[name] = (value / base) if base else 1.0
+
+
+def run_figure5(
+    suite: Dict[str, List[Function]],
+    variants: Sequence[CoalescingVariant] = tuple(VARIANTS),
+) -> List[Figure5Row]:
+    """Remaining static copies per benchmark and coalescing strategy."""
+    rows: List[Figure5Row] = []
+    totals: Dict[str, CopyCounts] = {variant.name: CopyCounts() for variant in variants}
+
+    for benchmark, functions in suite.items():
+        row = Figure5Row(benchmark=benchmark)
+        for variant in variants:
+            config = EngineConfig(
+                name=f"figure5_{variant.name}",
+                label=variant.label,
+                coalescing=variant.name,
+                **_FIGURE5_TEMPLATE,
+            )
+            counts = CopyCounts()
+            for function in functions:
+                copy = function.copy()
+                destruct_ssa(copy, config)
+                counts = counts + copy_counts(copy)
+            row.static_copies[variant.name] = counts.static_copies
+            row.weighted_copies[variant.name] = counts.weighted_copies
+            totals[variant.name] = totals[variant.name] + counts
+        row.compute_ratios()
+        rows.append(row)
+
+    sum_row = Figure5Row(benchmark="sum")
+    for name, counts in totals.items():
+        sum_row.static_copies[name] = counts.static_copies
+        sum_row.weighted_copies[name] = counts.weighted_copies
+    sum_row.compute_ratios()
+    rows.append(sum_row)
+    return rows
+
+
+# --------------------------------------------------------------------------- Figure 6
+@dataclass
+class Figure6Row:
+    """Out-of-SSA translation time per engine for one benchmark."""
+
+    benchmark: str
+    seconds: Dict[str, float] = field(default_factory=dict)
+    ratios: Dict[str, float] = field(default_factory=dict)
+
+    def compute_ratios(self, baseline: str = "sreedhar_iii") -> None:
+        base = self.seconds.get(baseline, 0.0)
+        for name, value in self.seconds.items():
+            self.ratios[name] = (value / base) if base else 1.0
+
+
+def run_figure6(
+    suite: Dict[str, List[Function]],
+    engines: Sequence[EngineConfig] = tuple(ENGINE_CONFIGURATIONS),
+    repeats: int = 1,
+) -> List[Figure6Row]:
+    """Time to go out of SSA, per benchmark and engine configuration."""
+    rows: List[Figure6Row] = []
+    totals: Dict[str, float] = {engine.name: 0.0 for engine in engines}
+
+    for benchmark, functions in suite.items():
+        row = Figure6Row(benchmark=benchmark)
+        for engine in engines:
+            best = None
+            for _ in range(max(1, repeats)):
+                elapsed = 0.0
+                for function in functions:
+                    copy = function.copy()
+                    start = time.perf_counter()
+                    destruct_ssa(copy, engine)
+                    elapsed += time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            row.seconds[engine.name] = best or 0.0
+            totals[engine.name] += best or 0.0
+        row.compute_ratios()
+        rows.append(row)
+
+    sum_row = Figure6Row(benchmark="sum", seconds=dict(totals))
+    sum_row.compute_ratios()
+    rows.append(sum_row)
+    return rows
+
+
+# --------------------------------------------------------------------------- Figure 7
+@dataclass
+class Figure7Row:
+    """Memory footprint per engine (suite-wide, as in the paper's bars)."""
+
+    metric: str                                   #: "maximum" or "total"
+    measured: Dict[str, int] = field(default_factory=dict)
+    evaluated_ordered: Dict[str, int] = field(default_factory=dict)
+    evaluated_bitset: Dict[str, int] = field(default_factory=dict)
+    ratios: Dict[str, float] = field(default_factory=dict)
+
+    def compute_ratios(self, baseline: str = "sreedhar_iii") -> None:
+        base = self.measured.get(baseline, 0)
+        for name, value in self.measured.items():
+            self.ratios[name] = (value / base) if base else 1.0
+
+
+def run_figure7(
+    suite: Dict[str, List[Function]],
+    engines: Sequence[EngineConfig] = tuple(ENGINE_CONFIGURATIONS),
+) -> List[Figure7Row]:
+    """Memory footprint (maximum and total) per engine configuration."""
+    maxima: Dict[str, int] = {engine.name: 0 for engine in engines}
+    totals: Dict[str, MemoryFootprint] = {engine.name: MemoryFootprint() for engine in engines}
+
+    for functions in suite.values():
+        for function in functions:
+            for engine in engines:
+                copy = function.copy()
+                result = destruct_ssa(copy, engine)
+                footprint = footprint_of(result)
+                totals[engine.name] = totals[engine.name] + footprint
+                maxima[engine.name] = max(maxima[engine.name], footprint.measured_peak)
+
+    maximum_row = Figure7Row(
+        metric="maximum",
+        measured=dict(maxima),
+        evaluated_ordered={name: fp.evaluated_ordered_sets for name, fp in totals.items()},
+        evaluated_bitset={name: fp.evaluated_bit_sets for name, fp in totals.items()},
+    )
+    maximum_row.compute_ratios()
+
+    total_row = Figure7Row(
+        metric="total",
+        measured={name: fp.measured_total for name, fp in totals.items()},
+        evaluated_ordered={name: fp.evaluated_ordered_sets for name, fp in totals.items()},
+        evaluated_bitset={name: fp.evaluated_bit_sets for name, fp in totals.items()},
+    )
+    total_row.compute_ratios()
+    return [maximum_row, total_row]
+
+
+# --------------------------------------------------------------------------- headline
+@dataclass
+class HeadlineSummary:
+    """The paper's headline claims: ~2× faster, ~10× less memory."""
+
+    speedup_vs_sreedhar: float
+    memory_reduction_vs_sreedhar: float
+    copies_ratio_vs_sreedhar: float
+
+
+def headline_summary(
+    suite: Dict[str, List[Function]],
+    fast_engine: str = "us_i_linear_intercheck_livecheck",
+    baseline_engine: str = "sreedhar_iii",
+) -> HeadlineSummary:
+    """Aggregate speed / memory / quality of the paper's engine vs Sreedhar III."""
+    engines = [
+        engine for engine in ENGINE_CONFIGURATIONS if engine.name in (fast_engine, baseline_engine)
+    ]
+    time_rows = run_figure6(suite, engines)
+    memory_rows = run_figure7(suite, engines)
+    figure5 = run_figure5(suite)
+
+    sum_time = next(row for row in time_rows if row.benchmark == "sum")
+    total_memory = next(row for row in memory_rows if row.metric == "total")
+    sum_quality = next(row for row in figure5 if row.benchmark == "sum")
+
+    speedup = (
+        sum_time.seconds[baseline_engine] / sum_time.seconds[fast_engine]
+        if sum_time.seconds.get(fast_engine) else 0.0
+    )
+    memory_reduction = (
+        total_memory.measured[baseline_engine] / total_memory.measured[fast_engine]
+        if total_memory.measured.get(fast_engine) else 0.0
+    )
+    copies_ratio = (
+        sum_quality.static_copies.get("value", 0)
+        / sum_quality.static_copies.get("sreedhar_iii", 1)
+        if sum_quality.static_copies.get("sreedhar_iii") else 1.0
+    )
+    return HeadlineSummary(
+        speedup_vs_sreedhar=speedup,
+        memory_reduction_vs_sreedhar=memory_reduction,
+        copies_ratio_vs_sreedhar=copies_ratio,
+    )

@@ -1,0 +1,74 @@
+"""Plain-text rendering of the experiment results.
+
+The examples and the benchmark harness print the same row/series layout the
+paper's figures use, so a reader can compare shapes side by side with the
+publication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import Figure5Row, Figure6Row, Figure7Row
+from repro.coalescing.variants import VARIANTS
+from repro.outofssa.driver import ENGINE_CONFIGURATIONS
+
+
+def _format_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_figure5(rows: List[Figure5Row]) -> str:
+    """Figure 5: remaining copies, normalised to the Intersect strategy."""
+    variant_names = [variant.name for variant in VARIANTS]
+    headers = ["benchmark"] + [variant.label for variant in VARIANTS]
+    table_rows = []
+    for row in rows:
+        cells = [row.benchmark]
+        for name in variant_names:
+            ratio = row.ratios.get(name)
+            count = row.static_copies.get(name, 0)
+            cells.append(f"{ratio:.3f} ({count})" if ratio is not None else "-")
+        table_rows.append(cells)
+    return _format_table(headers, table_rows)
+
+
+def format_figure6(rows: List[Figure6Row]) -> str:
+    """Figure 6: out-of-SSA time, normalised to Sreedhar III."""
+    engine_names = [engine.name for engine in ENGINE_CONFIGURATIONS]
+    headers = ["benchmark"] + [engine.label for engine in ENGINE_CONFIGURATIONS]
+    table_rows = []
+    for row in rows:
+        cells = [row.benchmark]
+        for name in engine_names:
+            ratio = row.ratios.get(name)
+            cells.append(f"{ratio:.2f}" if ratio is not None else "-")
+        table_rows.append(cells)
+    return _format_table(headers, table_rows)
+
+
+def format_figure7(rows: List[Figure7Row]) -> str:
+    """Figure 7: memory footprint (measured + evaluated), normalised to Sreedhar III."""
+    engine_names = [engine.name for engine in ENGINE_CONFIGURATIONS]
+    headers = ["metric"] + [engine.label for engine in ENGINE_CONFIGURATIONS]
+    table_rows = []
+    for row in rows:
+        cells = [row.metric]
+        for name in engine_names:
+            measured = row.measured.get(name)
+            ratio = row.ratios.get(name)
+            if measured is None:
+                cells.append("-")
+            else:
+                cells.append(f"{ratio:.2f} ({measured // 1024} KiB)")
+        table_rows.append(cells)
+    return _format_table(headers, table_rows)

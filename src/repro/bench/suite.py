@@ -1,0 +1,102 @@
+"""The synthetic benchmark suite standing in for SPEC CINT2000.
+
+The paper evaluates on eleven CINT2000 benchmarks (eon, the C++ one, is
+excluded).  Each synthetic counterpart below is a *bag of functions* produced
+by the workload generator with per-benchmark sizes and shape knobs chosen to
+echo the character of the original program (tight loop kernels for the
+compression codes, branchy code for gcc/parser, call-heavy code for perlbmk
+and gap, ...).  The absolute sizes are scaled down so the whole suite runs in
+seconds; a ``scale`` factor lets the experiments grow the workload when more
+fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.ir.function import Function
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Shape of one synthetic benchmark (a bag of generated functions)."""
+
+    name: str
+    functions: int
+    size: int
+    seed: int
+    loop_probability: float = 0.28
+    if_probability: float = 0.34
+    copy_probability: float = 0.30
+    swap_probability: float = 0.12
+    call_probability: float = 0.05
+    apply_abi: bool = False
+    use_br_dec: bool = True
+    num_locals: int = 6
+
+
+#: The eleven benchmarks of the paper's Figures 5-7 (eon excluded, as in the paper).
+SUITE: List[BenchmarkSpec] = [
+    BenchmarkSpec("164.gzip", functions=5, size=42, seed=164,
+                  loop_probability=0.36, copy_probability=0.32, swap_probability=0.14),
+    BenchmarkSpec("175.vpr", functions=5, size=46, seed=175,
+                  loop_probability=0.30, if_probability=0.36),
+    BenchmarkSpec("176.gcc", functions=8, size=52, seed=176,
+                  if_probability=0.42, copy_probability=0.34, num_locals=8),
+    BenchmarkSpec("181.mcf", functions=4, size=38, seed=181,
+                  loop_probability=0.34, swap_probability=0.16),
+    BenchmarkSpec("186.crafty", functions=6, size=48, seed=186,
+                  if_probability=0.38, num_locals=7),
+    BenchmarkSpec("197.parser", functions=6, size=44, seed=197,
+                  if_probability=0.40, copy_probability=0.33),
+    BenchmarkSpec("253.perlbmk", functions=7, size=50, seed=253,
+                  call_probability=0.10, apply_abi=True, num_locals=7),
+    BenchmarkSpec("254.gap", functions=6, size=46, seed=254,
+                  call_probability=0.08, apply_abi=True),
+    BenchmarkSpec("255.vortex", functions=7, size=48, seed=255,
+                  if_probability=0.38, copy_probability=0.34),
+    BenchmarkSpec("256.bzip2", functions=5, size=42, seed=256,
+                  loop_probability=0.38, swap_probability=0.15, use_br_dec=True),
+    BenchmarkSpec("300.twolf", functions=6, size=50, seed=300,
+                  loop_probability=0.32, if_probability=0.36, num_locals=7),
+]
+
+_SPEC_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in SUITE}
+
+
+def spec_by_name(name: str) -> BenchmarkSpec:
+    try:
+        return _SPEC_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(spec.name for spec in SUITE)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def build_benchmark(spec: BenchmarkSpec, scale: float = 1.0) -> List[Function]:
+    """Generate the SSA functions of one benchmark (deterministic per spec)."""
+    functions: List[Function] = []
+    count = max(1, round(spec.functions * scale))
+    for index in range(count):
+        config = GeneratorConfig(
+            seed=spec.seed * 1000 + index,
+            name=f"{spec.name.replace('.', '_')}_fn{index}",
+            size=max(10, int(spec.size * max(scale, 0.25))),
+            num_locals=spec.num_locals,
+            loop_probability=spec.loop_probability,
+            if_probability=spec.if_probability,
+            copy_probability=spec.copy_probability,
+            swap_probability=spec.swap_probability,
+            call_probability=spec.call_probability,
+            apply_abi=spec.apply_abi,
+            use_br_dec=spec.use_br_dec,
+        )
+        functions.append(generate_ssa_program(config))
+    return functions
+
+
+def build_suite(scale: float = 1.0, benchmarks: List[str] = None) -> Dict[str, List[Function]]:
+    """Generate the whole suite (or a named subset) as ``{name: [functions]}``."""
+    selected = SUITE if benchmarks is None else [spec_by_name(name) for name in benchmarks]
+    return {spec.name: build_benchmark(spec, scale) for spec in selected}

@@ -1,0 +1,37 @@
+"""Critical edges: detection and splitting.
+
+A CFG edge is *critical* when its source has several successors and its
+target has several predecessors.  Critical edges are what make naive φ-copy
+placement wrong (the "lost copy" problem) and what forces the Figure 2
+fallback when a branch defines a variable.  The paper's translation tolerates
+critical edges; splitting is only needed for the branch-with-definition case,
+but the pass is exposed for engines and experiments that want a split CFG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.function import Function
+
+
+def critical_edges(function: Function) -> List[Tuple[str, str]]:
+    """All critical edges of ``function`` as (source, target) pairs."""
+    result: List[Tuple[str, str]] = []
+    for source, target in function.edges():
+        if len(function.successors(source)) > 1 and len(function.predecessors(target)) > 1:
+            result.append((source, target))
+    return result
+
+
+def split_critical_edges(function: Function) -> List[str]:
+    """Split every critical edge; return the labels of the inserted blocks."""
+    inserted: List[str] = []
+    for source, target in critical_edges(function):
+        if target not in function.successors(source):
+            # A previous split already redirected this edge (e.g. a branch
+            # with two identical targets).
+            continue
+        new_block = function.split_edge(source, target)
+        inserted.append(new_block.label)
+    return inserted

@@ -1,0 +1,86 @@
+"""Natural loop detection and loop nesting depth.
+
+Copy weights in the paper's coalescer are "classic profile information"
+(basic-block frequencies); our substitute derives frequencies from loop
+nesting depth, so we need the natural loops of the CFG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.dominance import DominatorTree
+from repro.ir.function import Function
+
+
+class LoopInfo:
+    """One natural loop: a header plus the set of blocks of its body."""
+
+    __slots__ = ("header", "blocks", "back_edges", "parent", "depth")
+
+    def __init__(self, header: str) -> None:
+        self.header = header
+        self.blocks: Set[str] = {header}
+        self.back_edges: List[tuple] = []
+        self.parent: Optional["LoopInfo"] = None
+        self.depth: int = 1
+
+    def __repr__(self) -> str:
+        return f"LoopInfo(header={self.header!r}, blocks={sorted(self.blocks)}, depth={self.depth})"
+
+
+def natural_loops(function: Function, domtree: Optional[DominatorTree] = None) -> List[LoopInfo]:
+    """Find all natural loops (one per header, back edges merged)."""
+    domtree = domtree or DominatorTree(function)
+    loops: Dict[str, LoopInfo] = {}
+
+    for source, target in function.edges():
+        if source not in domtree._rpo_index or target not in domtree._rpo_index:
+            continue
+        if not domtree.dominates(target, source):
+            continue
+        # Back edge source -> target: collect the natural loop of this edge.
+        loop = loops.setdefault(target, LoopInfo(target))
+        loop.back_edges.append((source, target))
+        worklist = [source]
+        while worklist:
+            label = worklist.pop()
+            if label in loop.blocks:
+                continue
+            loop.blocks.add(label)
+            for pred in function.predecessors(label):
+                if pred in domtree._rpo_index and pred not in loop.blocks:
+                    worklist.append(pred)
+
+    result = list(loops.values())
+    _assign_nesting(result)
+    return result
+
+
+def _assign_nesting(loops: List[LoopInfo]) -> None:
+    """Compute parent pointers and nesting depths by containment."""
+    # Sort by body size so a loop's smallest enclosing loop is found first.
+    by_size = sorted(loops, key=lambda loop: len(loop.blocks))
+    for loop in by_size:
+        candidates = [
+            other for other in by_size
+            if other is not loop and loop.header in other.blocks and loop.blocks <= other.blocks
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda other: len(other.blocks))
+    for loop in by_size:
+        depth = 1
+        parent = loop.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        loop.depth = depth
+
+
+def loop_nesting_depths(function: Function, domtree: Optional[DominatorTree] = None) -> Dict[str, int]:
+    """Loop nesting depth of every block (0 = not in any loop)."""
+    depths: Dict[str, int] = {label: 0 for label in function.blocks}
+    for loop in natural_loops(function, domtree):
+        for label in loop.blocks:
+            depths[label] = max(depths[label], loop.depth)
+    return depths

@@ -1,0 +1,68 @@
+"""Graph traversal orders over the CFG of a function.
+
+All orders are deterministic: successors are visited in the order the
+terminator lists them, which keeps every downstream analysis reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+def depth_first_order(function: Function) -> List[str]:
+    """Pre-order DFS of the CFG from the entry block (unreachable blocks excluded)."""
+    order: List[str] = []
+    visited: Set[str] = set()
+    stack = [function.entry_label] if function.entry_label is not None else []
+    # An explicit stack with reversed successor pushes reproduces the order a
+    # recursive DFS would produce.
+    while stack:
+        label = stack.pop()
+        if label in visited or label is None:
+            continue
+        visited.add(label)
+        order.append(label)
+        for successor in reversed(function.successors(label)):
+            if successor not in visited:
+                stack.append(successor)
+    return order
+
+
+def postorder(function: Function) -> List[str]:
+    """Post-order DFS of the CFG from the entry block."""
+    order: List[str] = []
+    visited: Set[str] = set()
+
+    entry = function.entry_label
+    if entry is None:
+        return order
+
+    # Iterative post-order: (label, child cursor) frames.
+    stack: List[List] = [[entry, 0]]
+    visited.add(entry)
+    while stack:
+        frame = stack[-1]
+        label, cursor = frame
+        successors = function.successors(label)
+        if cursor < len(successors):
+            frame[1] += 1
+            child = successors[cursor]
+            if child not in visited:
+                visited.add(child)
+                stack.append([child, 0])
+        else:
+            order.append(label)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(function: Function) -> List[str]:
+    """Reverse post-order (a topological order on the acyclic part of the CFG)."""
+    return list(reversed(postorder(function)))
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    """Labels of all blocks reachable from the entry block."""
+    return set(depth_first_order(function))

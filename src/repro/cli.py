@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``translate``
+    Parse a textual IR file, (optionally) build SSA and run the CSSA-breaking
+    optimizations, translate out of SSA with a chosen engine/strategy, and
+    print the resulting code plus statistics.
+``run``
+    Interpret a textual IR file on the given integer arguments and print its
+    observable behaviour.
+``bench``
+    Regenerate one of the paper's figures (5, 6 or 7) on the synthetic suite.
+``list``
+    List the available engine configurations and coalescing strategies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import run_figure5, run_figure6, run_figure7
+from repro.bench.metrics import copy_counts
+from repro.bench.reporting import format_figure5, format_figure6, format_figure7
+from repro.bench.suite import SUITE, build_suite
+from repro.coalescing.variants import VARIANTS
+from repro.interp import run_function
+from repro.ir import format_function, parse_function
+from repro.outofssa import apply_calling_convention, destruct_ssa
+from repro.outofssa.driver import ENGINE_CONFIGURATIONS, EngineConfig, engine_by_name
+from repro.ssa import construct_ssa, fold_copies, remove_dead_code, value_number
+
+
+def _load_function(path: str):
+    with open(path) as handle:
+        return parse_function(handle.read())
+
+
+def _parse_args_list(text: str) -> List[int]:
+    text = text.strip()
+    if not text:
+        return []
+    return [int(part) for part in text.split(",")]
+
+
+# --------------------------------------------------------------------------- commands
+def command_translate(args: argparse.Namespace) -> int:
+    function = _load_function(args.file)
+
+    if args.construct_ssa:
+        construct_ssa(function)
+        if args.optimize:
+            value_number(function)
+            fold_copies(function)
+            remove_dead_code(function)
+    if args.abi:
+        apply_calling_convention(function)
+
+    if args.variant:
+        config = EngineConfig(
+            name=f"cli_{args.variant}", label=args.variant, coalescing=args.variant,
+            liveness="check", use_interference_graph=False, linear_class_check=False,
+        )
+    else:
+        config = engine_by_name(args.engine)
+
+    result = destruct_ssa(function, config)
+    print(format_function(function), end="")
+
+    if args.stats:
+        counts = copy_counts(function)
+        print(f"# engine               : {result.config.label}", file=sys.stderr)
+        print(f"# phi copies inserted  : {result.stats.inserted_phi_copies}", file=sys.stderr)
+        print(f"# copies coalesced     : {result.stats.coalesced}", file=sys.stderr)
+        print(f"# copies remaining     : {counts.static_copies}", file=sys.stderr)
+        print(f"# constant moves       : {counts.constant_moves}", file=sys.stderr)
+        print(f"# translation time (ms): {result.stats.elapsed_seconds * 1e3:.3f}", file=sys.stderr)
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    function = _load_function(args.file)
+    result = run_function(function, _parse_args_list(args.args))
+    print("return:", result.return_value)
+    print("trace :", " ".join(str(value) for value in result.trace))
+    print("steps :", result.steps)
+    return 0
+
+
+def command_bench(args: argparse.Namespace) -> int:
+    names = None
+    if args.benchmarks != "all":
+        names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    suite = build_suite(scale=args.scale, benchmarks=names)
+    if args.figure == 5:
+        print(format_figure5(run_figure5(suite)))
+    elif args.figure == 6:
+        print(format_figure6(run_figure6(suite)))
+    elif args.figure == 7:
+        print(format_figure7(run_figure7(suite)))
+    else:
+        raise SystemExit(f"unknown figure {args.figure}; expected 5, 6 or 7")
+    return 0
+
+
+def command_list(_args: argparse.Namespace) -> int:
+    print("engine configurations (Figures 6/7):")
+    for config in ENGINE_CONFIGURATIONS:
+        print(f"  {config.name:40s} {config.describe()}")
+    print()
+    print("coalescing strategies (Figure 5):")
+    for variant in VARIANTS:
+        print(f"  {variant.name:14s} {variant.label}")
+    print()
+    print("synthetic benchmarks:")
+    for spec in SUITE:
+        print(f"  {spec.name:14s} {spec.functions} functions, size {spec.size}")
+    return 0
+
+
+# --------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-SSA translation (Boissinot et al., CGO 2009) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    translate = sub.add_parser("translate", help="translate a textual IR file out of SSA")
+    translate.add_argument("file", help="path to a textual IR file")
+    translate.add_argument("--engine", default="us_i_linear_intercheck_livecheck",
+                           help="engine configuration name (see 'repro list')")
+    translate.add_argument("--variant", default=None,
+                           help="coalescing strategy name (overrides --engine's strategy)")
+    translate.add_argument("--construct-ssa", action="store_true",
+                           help="build SSA first (for non-SSA input files)")
+    translate.add_argument("--optimize", action="store_true",
+                           help="run copy folding / value numbering after SSA construction")
+    translate.add_argument("--abi", action="store_true",
+                           help="apply calling-convention pinning around calls")
+    translate.add_argument("--stats", action="store_true", help="print statistics to stderr")
+    translate.set_defaults(handler=command_translate)
+
+    run = sub.add_parser("run", help="interpret a textual IR file")
+    run.add_argument("file", help="path to a textual IR file")
+    run.add_argument("--args", default="", help="comma-separated integer arguments")
+    run.set_defaults(handler=command_run)
+
+    bench = sub.add_parser("bench", help="regenerate one of the paper's figures")
+    bench.add_argument("--figure", type=int, default=5, choices=(5, 6, 7))
+    bench.add_argument("--scale", type=float, default=0.4)
+    bench.add_argument("--benchmarks", default="164.gzip,176.gcc,254.gap")
+    bench.set_defaults(handler=command_bench)
+
+    listing = sub.add_parser("list", help="list engines, strategies and benchmarks")
+    listing.set_defaults(handler=command_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

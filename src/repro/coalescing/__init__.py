@@ -1,0 +1,16 @@
+"""Aggressive coalescing of copy-related variables (the paper's §III-B)."""
+
+from repro.coalescing.engine import Affinity, CoalescingStats, AggressiveCoalescer, collect_affinities
+from repro.coalescing.variants import CoalescingVariant, VARIANTS, variant_by_name
+from repro.coalescing.sharing import apply_copy_sharing
+
+__all__ = [
+    "Affinity",
+    "CoalescingStats",
+    "AggressiveCoalescer",
+    "collect_affinities",
+    "CoalescingVariant",
+    "VARIANTS",
+    "variant_by_name",
+    "apply_copy_sharing",
+]

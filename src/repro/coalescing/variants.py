@@ -1,0 +1,65 @@
+"""The seven coalescing strategies compared in Figure 5 of the paper.
+
+Each variant is described by:
+
+* the interference notion used when testing two congruence classes
+  (``intersect`` / ``chaitin`` / ``value``);
+* whether the copy's own (source, destination) pair is exempted from the test
+  (Sreedhar's SSA-based coalescing rule);
+* the processing order (``global`` weight order, or ``per_phi`` — one
+  φ-function at a time, the ordering constraint of the virtualized methods);
+* whether the copy-sharing post-pass runs.
+
+=================  ===========  =========  ========  =======
+variant            interference skip pair  ordering  sharing
+=================  ===========  =========  ========  =======
+``intersect``      intersect    no         global    no
+``sreedhar_i``     intersect    yes        global    no
+``chaitin``        chaitin      no         global    no
+``value``          value        no         global    no
+``sreedhar_iii``   intersect    yes        per_phi   no
+``value_is``       value        no         per_phi   no
+``sharing``        value        no         per_phi   yes
+=================  ===========  =========  ========  =======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.interference.definitions import InterferenceKind
+
+
+@dataclass(frozen=True)
+class CoalescingVariant:
+    """Description of one Figure 5 coalescing strategy."""
+
+    name: str
+    label: str
+    interference: InterferenceKind
+    skip_copy_pair: bool
+    ordering: str
+    sharing: bool
+
+
+VARIANTS: List[CoalescingVariant] = [
+    CoalescingVariant("intersect", "Intersect", InterferenceKind.INTERSECT, False, "global", False),
+    CoalescingVariant("sreedhar_i", "Sreedhar I", InterferenceKind.INTERSECT, True, "global", False),
+    CoalescingVariant("chaitin", "Chaitin", InterferenceKind.CHAITIN, False, "global", False),
+    CoalescingVariant("value", "Value", InterferenceKind.VALUE, False, "global", False),
+    CoalescingVariant("sreedhar_iii", "Sreedhar III", InterferenceKind.INTERSECT, True, "per_phi", False),
+    CoalescingVariant("value_is", "Value + IS", InterferenceKind.VALUE, False, "per_phi", False),
+    CoalescingVariant("sharing", "Sharing", InterferenceKind.VALUE, False, "per_phi", True),
+]
+
+_BY_NAME: Dict[str, CoalescingVariant] = {variant.name: variant for variant in VARIANTS}
+
+
+def variant_by_name(name: str) -> CoalescingVariant:
+    """Look up a Figure 5 variant by its short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown coalescing variant {name!r}; known variants: {known}") from None

@@ -1,0 +1,15 @@
+"""The paper's running examples (Figures 1-4) as ready-made IR programs."""
+
+from repro.gallery.figures import (
+    figure1_branch_use,
+    figure2_branch_with_decrement,
+    figure3_swap_problem,
+    figure4_lost_copy_problem,
+)
+
+__all__ = [
+    "figure1_branch_use",
+    "figure2_branch_with_decrement",
+    "figure3_swap_problem",
+    "figure4_lost_copy_problem",
+]

@@ -1,0 +1,105 @@
+"""IR encodings of the paper's Figures 1-4.
+
+Each function returns a *fresh* SSA :class:`~repro.ir.function.Function`
+reproducing the control-flow and φ structure of the corresponding figure, so
+tests, examples and documentation can all exercise exactly the situations the
+paper discusses:
+
+* Figure 1 — a copy must be inserted *before* a branch that uses a variable,
+  so live-out sets alone under-approximate interference;
+* Figure 2 — a branch-with-decrement defines the φ-argument in the terminator
+  itself, so copy insertion alone cannot isolate the φ and the edge must be
+  split;
+* Figure 3 — the swap problem (two φs exchanging values around a loop);
+* Figure 4 — the lost-copy problem (φ result live out of the loop).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+
+def figure1_branch_use() -> Function:
+    """Figure 1(a): the φ-argument copy lands before a branch that uses ``u``."""
+    fb = FunctionBuilder("figure1", params=("c",))
+    b0, b1, b2, b3, b4 = fb.blocks("B0", "B1", "B2", "B3", "B4")
+    with fb.at(b0):
+        u = fb.op("add", "c", 1, name="u")
+        v = fb.op("mul", "c", 3, name="v")
+        fb.branch("c", b1, b2)
+    with fb.at(b1):
+        fb.jump(b3)
+    with fb.at(b2):
+        # The branch itself uses u: a copy inserted "at the end" of B2 goes
+        # before this use.
+        fb.branch(u, b3, b4)
+    with fb.at(b3):
+        w = fb.phi("w", B1=u, B2=v)
+        fb.print(w)
+        fb.ret(w)
+    with fb.at(b4):
+        fb.print(v)
+        fb.ret(v)
+    return fb.finish()
+
+
+def figure2_branch_with_decrement() -> Function:
+    """Figure 2(b): a ``br_dec`` terminator defines the φ-argument itself."""
+    fb = FunctionBuilder("figure2", params=("n",))
+    entry, loop, exit_block = fb.blocks("entry", "loop", "exit")
+    with fb.at(entry):
+        u = fb.copy("u", "n")          # hardware-loop counter, not SSA-promoted
+        s0 = fb.const(0, name="s0")
+        fb.jump(loop)
+    with fb.at(loop):
+        s1 = fb.phi("s1", entry=s0, loop="s2")
+        s2 = fb.op("add", s1, u, name="s2")
+        fb.br_dec(u, loop, exit_block)
+    with fb.at(exit_block):
+        t = fb.phi("t", loop=u)        # φ-argument defined by loop's terminator
+        total = fb.op("add", t, s2, name="total")
+        fb.print(total)
+        fb.ret(total)
+    return fb.finish()
+
+
+def figure3_swap_problem(iterations_param: str = "n") -> Function:
+    """Figure 3(a): two φ-functions swap their values every iteration."""
+    fb = FunctionBuilder("swap_problem", params=(iterations_param, "a0", "b0"))
+    entry, loop, exit_block = fb.blocks("entry", "loop", "exit")
+    with fb.at(entry):
+        i0 = fb.const(0, name="i0")
+        fb.jump(loop)
+    with fb.at(loop):
+        a = fb.phi("a", entry="a0", loop="b")
+        b = fb.phi("b", entry="b0", loop="a")
+        i1 = fb.phi("i1", entry=i0, loop="i2")
+        fb.print(a)
+        fb.print(b)
+        i2 = fb.op("add", i1, 1, name="i2")
+        p = fb.op("cmp_lt", i2, iterations_param, name="p")
+        fb.branch(p, loop, exit_block)
+    with fb.at(exit_block):
+        r = fb.op("sub", a, b, name="r")
+        fb.print(r)
+        fb.ret(r)
+    return fb.finish()
+
+
+def figure4_lost_copy_problem() -> Function:
+    """Figure 4(a): the φ result is live out of the loop (lost-copy problem)."""
+    fb = FunctionBuilder("lost_copy", params=("n",))
+    entry, loop, exit_block = fb.blocks("entry", "loop", "exit")
+    with fb.at(entry):
+        x1 = fb.const(1, name="x1")
+        fb.jump(loop)
+    with fb.at(loop):
+        x2 = fb.phi("x2", entry=x1, loop="x3")
+        x3 = fb.op("add", x2, 1, name="x3")
+        p = fb.op("cmp_lt", x3, "n", name="p")
+        fb.branch(p, loop, exit_block)
+    with fb.at(exit_block):
+        fb.print(x2)
+        fb.ret(x2)
+    return fb.finish()

@@ -1,0 +1,18 @@
+"""Interference: definitions, graph representation, congruence classes."""
+
+from repro.interference.definitions import (
+    InterferenceKind,
+    InterferenceTest,
+    make_interference_test,
+)
+from repro.interference.graph import InterferenceGraph
+from repro.interference.congruence import CongruenceClass, CongruenceClasses
+
+__all__ = [
+    "InterferenceKind",
+    "InterferenceTest",
+    "make_interference_test",
+    "InterferenceGraph",
+    "CongruenceClass",
+    "CongruenceClasses",
+]

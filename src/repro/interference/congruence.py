@@ -1,0 +1,375 @@
+"""Congruence classes and the linear class-vs-class interference check.
+
+A *congruence class* is the set of variables already coalesced together
+(Sreedhar et al.'s terminology).  Deciding whether two classes can be merged
+requires checking that no variable of one interferes with a variable of the
+other.  Done naively this is quadratic in the class sizes; the paper's §IV-B
+shows how to do it with a linear number of variable-to-variable tests by
+generalising the dominance-forest idea of Budimlić et al.:
+
+* each class is kept as a list of variables sorted by a pre-DFS order ≺ of the
+  dominance tree of their definition points;
+* the two sorted lists are swept jointly while maintaining the stack of the
+  current variable's dominating ancestors (Algorithm 2), so the dominance
+  forest is *simulated*, never built;
+* with plain intersection-interference it suffices to test each variable
+  against its immediate ancestor from the *other* set;
+* with value-based interference the "equal intersecting ancestor" chains
+  (``equal_anc_in`` / ``equal_anc_out``) extend the test while keeping the
+  number of intersection queries linear (functions ``interference``,
+  ``chain_intersect`` and ``update_equal_anc_out`` of the paper).
+
+Both the linear check and a brute-force quadratic reference are provided; the
+test-suite verifies they agree on random programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.instructions import Variable
+from repro.interference.definitions import InterferenceKind, InterferenceTest
+from repro.liveness.intersection import IntersectionOracle
+
+
+class CongruenceClass:
+    """One set of coalesced variables, kept sorted in dominance pre-order ≺."""
+
+    __slots__ = ("members", "register", "equal_anc_in")
+
+    def __init__(self, members: Iterable[Variable] = (), register: Optional[str] = None) -> None:
+        self.members: List[Variable] = list(members)
+        #: Architectural register this class is pinned to (renaming constraints).
+        self.register: Optional[str] = register
+        #: Per-member "equal intersecting ancestor" within this class.
+        self.equal_anc_in: Dict[Variable, Optional[Variable]] = {
+            member: None for member in self.members
+        }
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self.members
+
+    def __repr__(self) -> str:
+        label = f", register={self.register}" if self.register else ""
+        return f"CongruenceClass({[str(v) for v in self.members]}{label})"
+
+
+class InterferenceBetweenClasses(Exception):
+    """Internal marker used by the quadratic reference checker."""
+
+
+class CongruenceClasses:
+    """All congruence classes of a function plus the class-vs-class checks."""
+
+    def __init__(
+        self,
+        oracle: IntersectionOracle,
+        test: InterferenceTest,
+        use_linear_check: bool = True,
+    ) -> None:
+        self.oracle = oracle
+        self.test = test
+        self.use_linear_check = use_linear_check
+        self._class_of: Dict[Variable, CongruenceClass] = {}
+        #: Number of variable-to-variable interference queries issued by the
+        #: class-vs-class checks (reported by the Figure 6 harness).
+        self.pair_queries = 0
+
+    # -- class management --------------------------------------------------------------
+    def ensure(self, var: Variable) -> CongruenceClass:
+        """Return the class of ``var``, creating a singleton if needed."""
+        cls = self._class_of.get(var)
+        if cls is None:
+            cls = CongruenceClass([var])
+            self._class_of[var] = cls
+        return cls
+
+    def class_of(self, var: Variable) -> CongruenceClass:
+        return self.ensure(var)
+
+    def same_class(self, a: Variable, b: Variable) -> bool:
+        return self.ensure(a) is self.ensure(b)
+
+    def classes(self) -> List[CongruenceClass]:
+        seen: List[CongruenceClass] = []
+        for cls in self._class_of.values():
+            if all(cls is not other for other in seen):
+                seen.append(cls)
+        return seen
+
+    def representative(self, var: Variable) -> Variable:
+        """A canonical member of ``var``'s class (the ≺-smallest one)."""
+        cls = self.ensure(var)
+        return cls.members[0] if cls.members else var
+
+    def _sort_key(self, var: Variable):
+        return self.oracle.dominance_order_key(var)
+
+    def make_class(self, members: Iterable[Variable], register: Optional[str] = None) -> CongruenceClass:
+        """Create one class containing ``members`` (assumed interference-free)."""
+        ordered = sorted(members, key=self._sort_key)
+        cls = CongruenceClass(ordered, register=register)
+        self._precompute_equal_anc_in(cls)
+        for member in ordered:
+            self._class_of[member] = cls
+        return cls
+
+    def _precompute_equal_anc_in(self, cls: CongruenceClass) -> None:
+        """Compute equal intersecting ancestors inside a freshly built class.
+
+        Classes built by :meth:`merge` maintain this incrementally; classes
+        built directly (φ-nodes, pinned groups) are usually intersection-free
+        so the chains are empty, but we compute them exactly for safety.
+        """
+        cls.equal_anc_in = {}
+        for i, member in enumerate(cls.members):
+            ancestor: Optional[Variable] = None
+            for candidate in reversed(cls.members[:i]):
+                if not self.oracle.dominates(candidate, member):
+                    continue
+                if self.test.same_value(candidate, member) and self.oracle.intersect(candidate, member):
+                    ancestor = candidate
+                    break
+            cls.equal_anc_in[member] = ancestor
+
+    # -- pairwise helper -----------------------------------------------------------------
+    def _pair_interferes(self, a: Variable, b: Variable) -> bool:
+        self.pair_queries += 1
+        return self.test.interferes(a, b)
+
+    # -- quadratic reference check ----------------------------------------------------------
+    def interfere_quadratic(
+        self,
+        left: CongruenceClass,
+        right: CongruenceClass,
+        skip_pairs: Iterable[Tuple[Variable, Variable]] = (),
+    ) -> bool:
+        """All-pairs interference test between two classes.
+
+        ``skip_pairs`` supports Sreedhar's SSA-based coalescing rule, which
+        exempts the copy's own (source, destination) pair from the check.
+        """
+        if left.register and right.register and left.register != right.register:
+            return True
+        skip = set()
+        for a, b in skip_pairs:
+            skip.add((a, b))
+            skip.add((b, a))
+        for a in left.members:
+            for b in right.members:
+                if (a, b) in skip:
+                    continue
+                if self._pair_interferes(a, b):
+                    return True
+        return False
+
+    # -- linear check (paper Algorithm 2 + value extension) -----------------------------------
+    def interfere_linear(
+        self,
+        left: CongruenceClass,
+        right: CongruenceClass,
+    ) -> Tuple[bool, Dict[Variable, Optional[Variable]]]:
+        """Linear-time interference check between two classes.
+
+        Returns ``(interferes, equal_anc_out)``; the ``equal_anc_out`` map is
+        what :meth:`merge` needs to maintain the per-member chains when the
+        classes are coalesced.
+        """
+        if left.register and right.register and left.register != right.register:
+            return True, {}
+
+        oracle = self.oracle
+        in_left = set(left.members)
+        equal_anc_out: Dict[Variable, Optional[Variable]] = {}
+
+        def equal_anc_in(var: Variable) -> Optional[Variable]:
+            if var in in_left:
+                return left.equal_anc_in.get(var)
+            return right.equal_anc_in.get(var)
+
+        def intersect(a: Variable, b: Variable) -> bool:
+            self.pair_queries += 1
+            return oracle.intersect(a, b)
+
+        def chain_intersect(a: Variable, b: Optional[Variable]) -> bool:
+            """Does ``a`` intersect ``b`` or one of its equal intersecting ancestors?"""
+            tmp = b
+            while tmp is not None and not intersect(a, tmp):
+                tmp = equal_anc_in(tmp)
+            return tmp is not None
+
+        def update_equal_anc_out(a: Variable, b: Optional[Variable]) -> None:
+            tmp = b
+            while tmp is not None and not intersect(a, tmp):
+                tmp = equal_anc_in(tmp)
+            equal_anc_out[a] = tmp
+
+        def interference(a: Variable, b: Variable) -> bool:
+            """Paper's ``interference`` function: a against its dominating parent b."""
+            equal_anc_out.setdefault(a, None)
+            other = b
+            if (a in in_left) == (b in in_left):
+                # Same set: redirect the check to b's equal intersecting
+                # ancestor in the *other* set.
+                other = equal_anc_out.get(b)
+            if other is None:
+                return False
+            if not self.test.same_value(a, other):
+                return chain_intersect(a, other)
+            update_equal_anc_out(a, other)
+            return False
+
+        def plain_interference(a: Variable, b: Variable) -> bool:
+            """Intersection-only variant: test only across sets."""
+            if (a in in_left) == (b in in_left):
+                return False
+            self.pair_queries += 1
+            if self.test.kind is InterferenceKind.INTERSECT:
+                return oracle.intersect(a, b)
+            return self.test.interferes(a, b)
+
+        value_based = self.test.kind is InterferenceKind.VALUE
+        check = interference if value_based else plain_interference
+
+        # Joint sweep of the two sorted lists in dominance pre-order ≺,
+        # simulating the recursive traversal of the dominance forest.
+        red = left.members
+        blue = right.members
+        ir = ib = 0
+        stack: List[Variable] = []
+        stack_from_left = 0
+        stack_from_right = 0
+
+        def should_continue() -> bool:
+            return (
+                (ir < len(red) and (stack_from_right > 0 or ib < len(blue)))
+                or (ib < len(blue) and (stack_from_left > 0 or ir < len(red)))
+            )
+
+        while should_continue():
+            if ir < len(red) and (
+                ib >= len(blue) or self._sort_key(red[ir]) <= self._sort_key(blue[ib])
+            ):
+                current = red[ir]
+                ir += 1
+            else:
+                current = blue[ib]
+                ib += 1
+
+            while stack and not oracle.dominates(stack[-1], current):
+                popped = stack.pop()
+                if popped in in_left:
+                    stack_from_left -= 1
+                else:
+                    stack_from_right -= 1
+
+            parent = stack[-1] if stack else None
+            if parent is not None and check(current, parent):
+                return True, equal_anc_out
+
+            stack.append(current)
+            if current in in_left:
+                stack_from_left += 1
+            else:
+                stack_from_right += 1
+
+        return False, equal_anc_out
+
+    # -- public check + merge ---------------------------------------------------------------------
+    def interfere(
+        self,
+        left: CongruenceClass,
+        right: CongruenceClass,
+        skip_pairs: Iterable[Tuple[Variable, Variable]] = (),
+    ) -> Tuple[bool, Dict[Variable, Optional[Variable]]]:
+        """Do the two classes interfere?  Returns ``(answer, equal_anc_out)``."""
+        if left is right:
+            return False, {}
+        skip_pairs = list(skip_pairs)
+        # The linear sweep relies on every class being interference-free under
+        # the test in use, which holds for the intersection and value-based
+        # notions; Chaitin-style tests and Sreedhar's skip-pair rule fall back
+        # to the quadratic reference.
+        linear_ok = self.test.kind in (InterferenceKind.INTERSECT, InterferenceKind.VALUE)
+        if self.use_linear_check and linear_ok and not skip_pairs:
+            return self.interfere_linear(left, right)
+        return self.interfere_quadratic(left, right, skip_pairs), {}
+
+    def merge(
+        self,
+        left: CongruenceClass,
+        right: CongruenceClass,
+        equal_anc_out: Optional[Dict[Variable, Optional[Variable]]] = None,
+    ) -> CongruenceClass:
+        """Coalesce two (non-interfering) classes into one; return the result."""
+        if left is right:
+            return left
+        if left.register and right.register and left.register != right.register:
+            raise ValueError("cannot merge classes pinned to different registers")
+
+        merged_members: List[Variable] = []
+        i = j = 0
+        while i < len(left.members) or j < len(right.members):
+            if j >= len(right.members) or (
+                i < len(left.members)
+                and self._sort_key(left.members[i]) <= self._sort_key(right.members[j])
+            ):
+                merged_members.append(left.members[i])
+                i += 1
+            else:
+                merged_members.append(right.members[j])
+                j += 1
+
+        result = CongruenceClass(merged_members, register=left.register or right.register)
+        equal_anc_out = equal_anc_out or {}
+        for member in merged_members:
+            inside = (
+                left.equal_anc_in.get(member)
+                if member in left.equal_anc_in
+                else right.equal_anc_in.get(member)
+            )
+            outside = equal_anc_out.get(member)
+            result.equal_anc_in[member] = self._max_by_order(inside, outside)
+        for member in merged_members:
+            self._class_of[member] = result
+        return result
+
+    def _max_by_order(
+        self, a: Optional[Variable], b: Optional[Variable]
+    ) -> Optional[Variable]:
+        """The ≺-greater (i.e. deeper / nearer) of two optional ancestors."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if self._sort_key(a) >= self._sort_key(b) else b
+
+    # -- convenience for drivers ----------------------------------------------------------------------
+    def try_coalesce(
+        self,
+        a: Variable,
+        b: Variable,
+        skip_copy_pair: bool = False,
+    ) -> bool:
+        """Coalesce the classes of ``a`` and ``b`` if they do not interfere.
+
+        ``skip_copy_pair`` implements Sreedhar's SSA-based coalescing rule
+        (the pair ``(a, b)`` itself is exempted from the interference check).
+        Returns True if the classes were merged (or already equal).
+        """
+        left = self.ensure(a)
+        right = self.ensure(b)
+        if left is right:
+            return True
+        skip_pairs = [(a, b)] if skip_copy_pair else []
+        interferes, equal_anc_out = self.interfere(left, right, skip_pairs)
+        if interferes:
+            return False
+        self.merge(left, right, equal_anc_out)
+        return True

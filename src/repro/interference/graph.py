@@ -1,0 +1,198 @@
+"""Explicit interference graph stored as a half bit-matrix.
+
+This is the memory-hungry baseline representation the paper's "Sreedhar III"
+and plain "Us I"/"Us III" configurations use; the ``InterCheck``/``LiveCheck``
+configurations avoid building it altogether.  The class therefore exists for
+two reasons: as a faithful baseline for the Figure 6/7 experiments, and as a
+cross-check for the query-based tests.
+
+The universe of indexed variables can be restricted (the paper restricts it to
+φ-related and copy-related variables) and grows dynamically when virtualized
+copies are materialized, exactly like in Method III.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.interference.definitions import InterferenceKind, InterferenceTest
+from repro.utils.bitset import BitMatrix
+from repro.utils.instrument import current_tracker
+
+
+class InterferenceGraph:
+    """Half bit-matrix over an (extensible) universe of variables."""
+
+    def __init__(self, universe: Iterable[Variable] = ()) -> None:
+        self._index: Dict[Variable, int] = {}
+        self._vars: List[Variable] = []
+        self._matrix = BitMatrix()
+        for var in universe:
+            self.add_variable(var)
+
+    # -- universe management -------------------------------------------------------
+    def add_variable(self, var: Variable) -> int:
+        """Add ``var`` to the universe (idempotent); return its index."""
+        index = self._index.get(var)
+        if index is not None:
+            return index
+        index = len(self._vars)
+        self._index[var] = index
+        self._vars.append(var)
+        old_bytes = self._matrix.footprint_bytes()
+        self._matrix.grow(index + 1)
+        tracker = current_tracker()
+        if tracker is not None:
+            tracker.resize("interference_graph", old_bytes, self._matrix.footprint_bytes())
+        return index
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._index
+
+    def variables(self) -> List[Variable]:
+        return list(self._vars)
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    # -- edges ------------------------------------------------------------------------
+    def add_edge(self, a: Variable, b: Variable) -> None:
+        if a == b:
+            return
+        self._matrix.set(self.add_variable(a), self.add_variable(b))
+
+    def interferes(self, a: Variable, b: Variable) -> bool:
+        index_a = self._index.get(a)
+        index_b = self._index.get(b)
+        if index_a is None or index_b is None or index_a == index_b:
+            return False
+        return self._matrix.test(index_a, index_b)
+
+    def neighbours(self, var: Variable) -> List[Variable]:
+        index = self._index.get(var)
+        if index is None:
+            return []
+        return [self._vars[other] for other in self._matrix.neighbours(index)]
+
+    def edge_count(self) -> int:
+        return sum(
+            1
+            for i in range(len(self._vars))
+            for j in range(i)
+            if self._matrix.test(i, j)
+        )
+
+    # -- memory accounting ----------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        return self._matrix.footprint_bytes()
+
+    @staticmethod
+    def evaluated_footprint(num_variables: int) -> int:
+        return BitMatrix.evaluated_footprint(num_variables)
+
+    # -- construction from a pairwise test ---------------------------------------------------
+    @classmethod
+    def build_all_pairs(
+        cls,
+        function: Function,
+        test: InterferenceTest,
+        universe: Optional[Iterable[Variable]] = None,
+    ) -> "InterferenceGraph":
+        """Reference construction: test every pair of the universe.
+
+        Quadratic; kept as a cross-check for :meth:`build`, which is the
+        construction the engines use.
+        """
+        candidates = list(universe) if universe is not None else function.variables()
+        graph = cls(candidates)
+        for i, a in enumerate(candidates):
+            for b in candidates[i + 1:]:
+                if test.interferes(a, b):
+                    graph.add_edge(a, b)
+        return graph
+
+    @classmethod
+    def build(
+        cls,
+        function: Function,
+        test: InterferenceTest,
+        universe: Optional[Iterable[Variable]] = None,
+    ) -> "InterferenceGraph":
+        """Build the graph by one backward scan per block ("costly traversal of
+        the program", §IV): at every definition point, the defined variables
+        get an edge to every universe variable live across that point, filtered
+        by the interference notion (Chaitin's copy exemption, value equality).
+
+        Requires ``test.oracle.liveness``; the universe defaults to all
+        variables but the paper (and the driver) restrict it to the φ-related
+        and copy-related ones.
+        """
+        from repro.ir.instructions import Copy, ParallelCopy, Phi
+        from repro.ir.positions import block_schedule  # local import, avoids cycles
+
+        liveness = test.oracle.liveness
+        candidates = list(universe) if universe is not None else function.variables()
+        in_universe = set(candidates)
+        graph = cls(candidates)
+        kind = test.kind
+
+        def copy_source_of(instruction, defined: Variable):
+            if isinstance(instruction, Copy) and instruction.dst == defined:
+                return instruction.src
+            if isinstance(instruction, ParallelCopy):
+                for dst, src in instruction.pairs:
+                    if dst == defined:
+                        return src
+            return None
+
+        for block in function:
+            # Live universe variables at the end of the block.
+            live = {var for var in in_universe if liveness.is_live_out(block.label, var)}
+            for _index, instruction in reversed(block_schedule(block)):
+                defs = list(instruction.defs())
+                if defs:
+                    for defined in defs:
+                        if defined not in in_universe:
+                            continue
+                        source = copy_source_of(instruction, defined)
+                        for other in live:
+                            if other == defined:
+                                continue
+                            # ``other`` is live right after the definition of
+                            # ``defined``: the live ranges intersect; apply the
+                            # notion-specific refinement.
+                            if kind is InterferenceKind.VALUE and test.same_value(defined, other):
+                                continue
+                            if kind is InterferenceKind.CHAITIN and source == other:
+                                continue
+                            graph.add_edge(defined, other)
+                    for defined in defs:
+                        live.discard(defined)
+                # φ-arguments are read on the incoming edges, not inside this
+                # block: they are already accounted for by the predecessors'
+                # live-out sets and must not extend liveness here.
+                if not isinstance(instruction, Phi):
+                    for used in instruction.uses():
+                        if used in in_universe:
+                            live.add(used)
+
+            if block.label == function.entry_label:
+                # Function parameters are defined by a virtual instruction
+                # before the entry block: at this point ``live`` holds the
+                # universe variables live-in at the entry, which is exactly
+                # what each parameter is simultaneously live with (a parameter
+                # that is never used is not in ``live`` and, having an empty
+                # live range and no real defining instruction, interferes with
+                # nothing).
+                for param in function.params:
+                    if param not in in_universe:
+                        continue
+                    for other in live:
+                        if other == param:
+                            continue
+                        if kind is InterferenceKind.VALUE and test.same_value(param, other):
+                            continue
+                        graph.add_edge(param, other)
+        return graph

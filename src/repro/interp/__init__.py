@@ -1,0 +1,17 @@
+"""A deterministic interpreter for the reproduction IR."""
+
+from repro.interp.interpreter import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+    UninitializedRead,
+    run_function,
+)
+
+__all__ = [
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+    "UninitializedRead",
+    "run_function",
+]

@@ -1,0 +1,266 @@
+"""Deterministic interpreter for SSA and post-SSA programs.
+
+The interpreter gives the IR its semantics:
+
+* φ-functions of a block evaluate *in parallel*, selecting the argument keyed
+  by the predecessor block just left;
+* parallel copies read all their sources before writing any destination;
+* ``br_dec`` decrements its counter, then branches on it being non-zero;
+* ``call`` evaluates a pure, deterministic intrinsic (a mixing function of the
+  callee name and the argument values), so programs containing calls can be
+  compared before/after transformation without modelling an external world;
+* ``print`` appends to an observable trace.
+
+The :class:`ExecutionResult` (return value + print trace + executed block
+path) is the observable behaviour that correctness tests compare before and
+after out-of-SSA translation: a lost copy or a swapped value shows up as a
+differing trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    BrDec,
+    Call,
+    Constant,
+    Copy,
+    Instruction,
+    Jump,
+    Op,
+    Operand,
+    ParallelCopy,
+    Phi,
+    Print,
+    Return,
+    Variable,
+)
+
+
+class UninitializedRead(RuntimeError):
+    """A variable was read before any definition assigned it a value."""
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The step budget was exhausted (probable infinite loop)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Observable behaviour of one program execution."""
+
+    return_value: Optional[int]
+    trace: Tuple[int, ...]
+    steps: int
+    block_path: Tuple[str, ...] = ()
+
+    def observable(self) -> Tuple[Optional[int], Tuple[int, ...]]:
+        """The part of the result that must be preserved by compilation."""
+        return (self.return_value, self.trace)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionResult):
+            return NotImplemented
+        return self.observable() == other.observable()
+
+
+_MASK = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to a signed 64-bit integer so arithmetic matches across programs."""
+    value &= _MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def _intrinsic_call(callee: str, args: Sequence[int]) -> int:
+    """A pure, deterministic stand-in for external calls."""
+    accumulator = 0
+    for char in callee:
+        accumulator = _wrap(accumulator * 31 + ord(char))
+    for arg in args:
+        accumulator = _wrap(accumulator * 1000003 + arg)
+    return accumulator
+
+
+class Interpreter:
+    """Evaluate a :class:`~repro.ir.function.Function` on concrete arguments."""
+
+    def __init__(self, function: Function, max_steps: int = 200_000) -> None:
+        self.function = function
+        self.max_steps = max_steps
+
+    # -- operand evaluation -------------------------------------------------------
+    def _read(self, env: Dict[str, int], operand: Operand) -> int:
+        if isinstance(operand, Constant):
+            return operand.value
+        try:
+            return env[operand.name]
+        except KeyError:
+            raise UninitializedRead(
+                f"{self.function.name}: read of {operand} before any definition"
+            ) from None
+
+    def _write(self, env: Dict[str, int], var: Variable, value: int) -> None:
+        env[var.name] = _wrap(value)
+
+    # -- opcode semantics -----------------------------------------------------------
+    def _evaluate_op(self, env: Dict[str, int], instruction: Op) -> int:
+        opcode = instruction.opcode
+        args = [self._read(env, arg) for arg in instruction.args]
+
+        def arg(position: int) -> int:
+            return args[position] if position < len(args) else 0
+
+        if opcode == "const":
+            return arg(0)
+        if opcode == "add":
+            return arg(0) + arg(1)
+        if opcode == "sub":
+            return arg(0) - arg(1)
+        if opcode == "mul":
+            return arg(0) * arg(1)
+        if opcode == "div":
+            return arg(0) // arg(1) if arg(1) != 0 else 0
+        if opcode == "mod":
+            return arg(0) % arg(1) if arg(1) != 0 else 0
+        if opcode == "neg":
+            return -arg(0)
+        if opcode == "not":
+            return 0 if arg(0) else 1
+        if opcode == "and":
+            return arg(0) & arg(1)
+        if opcode == "or":
+            return arg(0) | arg(1)
+        if opcode == "xor":
+            return arg(0) ^ arg(1)
+        if opcode == "shl":
+            return arg(0) << (arg(1) % 64)
+        if opcode == "shr":
+            return arg(0) >> (arg(1) % 64)
+        if opcode == "min":
+            return min(arg(0), arg(1))
+        if opcode == "max":
+            return max(arg(0), arg(1))
+        if opcode == "abs":
+            return abs(arg(0))
+        if opcode == "select":
+            return arg(1) if arg(0) else arg(2)
+        if opcode in ("cmp_lt", "lt"):
+            return 1 if arg(0) < arg(1) else 0
+        if opcode in ("cmp_le", "le"):
+            return 1 if arg(0) <= arg(1) else 0
+        if opcode in ("cmp_gt", "gt"):
+            return 1 if arg(0) > arg(1) else 0
+        if opcode in ("cmp_ge", "ge"):
+            return 1 if arg(0) >= arg(1) else 0
+        if opcode in ("cmp_eq", "eq"):
+            return 1 if arg(0) == arg(1) else 0
+        if opcode in ("cmp_ne", "ne"):
+            return 1 if arg(0) != arg(1) else 0
+        raise ValueError(f"unknown opcode {opcode!r} in {instruction!r}")
+
+    # -- execution ----------------------------------------------------------------------
+    def run(self, args: Sequence[int] = ()) -> ExecutionResult:
+        function = self.function
+        if len(args) != len(function.params):
+            raise ValueError(
+                f"{function.name} expects {len(function.params)} arguments, got {len(args)}"
+            )
+        env: Dict[str, int] = {
+            param.name: _wrap(value) for param, value in zip(function.params, args)
+        }
+        trace: List[int] = []
+        block_path: List[str] = []
+        steps = 0
+        previous_label: Optional[str] = None
+        current_label = function.entry_label
+        assert current_label is not None
+
+        while True:
+            block = function.blocks[current_label]
+            block_path.append(current_label)
+
+            # φ-functions evaluate in parallel against the edge just taken.
+            if block.phis:
+                if previous_label is None:
+                    raise ValueError(
+                        f"{function.name}:{current_label}: phi-functions in the entry block"
+                    )
+                phi_values: List[Tuple[Variable, int]] = []
+                for phi in block.phis:
+                    if previous_label not in phi.args:
+                        raise ValueError(
+                            f"{function.name}:{current_label}: phi {phi.dst} has no argument "
+                            f"for predecessor {previous_label}"
+                        )
+                    phi_values.append((phi.dst, self._read(env, phi.args[previous_label])))
+                for dst, value in phi_values:
+                    self._write(env, dst, value)
+                steps += len(phi_values)
+
+            for instruction in block.non_phi_instructions():
+                steps += 1
+                if steps > self.max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"{function.name}: exceeded {self.max_steps} steps"
+                    )
+
+                if isinstance(instruction, ParallelCopy):
+                    read = [(dst, self._read(env, src)) for dst, src in instruction.pairs]
+                    for dst, value in read:
+                        self._write(env, dst, value)
+                elif isinstance(instruction, Copy):
+                    self._write(env, instruction.dst, self._read(env, instruction.src))
+                elif isinstance(instruction, Op):
+                    self._write(env, instruction.dst, self._evaluate_op(env, instruction))
+                elif isinstance(instruction, Call):
+                    value = _intrinsic_call(
+                        instruction.callee, [self._read(env, arg) for arg in instruction.args]
+                    )
+                    if instruction.dst is not None:
+                        self._write(env, instruction.dst, value)
+                elif isinstance(instruction, Print):
+                    trace.append(self._read(env, instruction.value))
+                elif isinstance(instruction, Jump):
+                    previous_label, current_label = current_label, instruction.target
+                    break
+                elif isinstance(instruction, Branch):
+                    taken = instruction.if_true if self._read(env, instruction.cond) != 0 else instruction.if_false
+                    previous_label, current_label = current_label, taken
+                    break
+                elif isinstance(instruction, BrDec):
+                    counter = self._read(env, instruction.counter) - 1
+                    self._write(env, instruction.counter, counter)
+                    taken = instruction.taken if counter != 0 else instruction.exit
+                    previous_label, current_label = current_label, taken
+                    break
+                elif isinstance(instruction, Return):
+                    value = (
+                        self._read(env, instruction.value)
+                        if instruction.value is not None
+                        else None
+                    )
+                    return ExecutionResult(
+                        return_value=value,
+                        trace=tuple(trace),
+                        steps=steps,
+                        block_path=tuple(block_path),
+                    )
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"cannot interpret {instruction!r}")
+            else:
+                raise ValueError(
+                    f"{function.name}:{current_label}: block fell through without a terminator"
+                )
+
+
+def run_function(function: Function, args: Sequence[int] = (), max_steps: int = 200_000) -> ExecutionResult:
+    """Convenience wrapper: interpret ``function`` on ``args``."""
+    return Interpreter(function, max_steps=max_steps).run(args)

@@ -1,0 +1,58 @@
+"""Intermediate representation used throughout the reproduction.
+
+The IR is a conventional three-address, basic-block based representation with
+explicit φ-functions and *parallel copies* (the semantics the paper insists
+on), plus the DSP-style branch-with-decrement terminator (``BrDec``) needed to
+reproduce the paper's Figure 2 pathology.
+"""
+
+from repro.ir.instructions import (
+    Operand,
+    Variable,
+    Constant,
+    Instruction,
+    Op,
+    Copy,
+    ParallelCopy,
+    Phi,
+    Call,
+    Print,
+    Jump,
+    Branch,
+    BrDec,
+    Return,
+    Terminator,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_function, format_instruction
+from repro.ir.parser import parse_function
+from repro.ir.validate import ValidationError, validate_function, validate_ssa
+
+__all__ = [
+    "Operand",
+    "Variable",
+    "Constant",
+    "Instruction",
+    "Op",
+    "Copy",
+    "ParallelCopy",
+    "Phi",
+    "Call",
+    "Print",
+    "Jump",
+    "Branch",
+    "BrDec",
+    "Return",
+    "Terminator",
+    "BasicBlock",
+    "Function",
+    "FunctionBuilder",
+    "format_function",
+    "format_instruction",
+    "parse_function",
+    "ValidationError",
+    "validate_function",
+    "validate_ssa",
+]

@@ -1,0 +1,115 @@
+"""Basic blocks.
+
+A block is laid out as::
+
+    label:
+        φ-functions                (conceptually parallel, at block entry)
+        entry parallel copy        (Method I: a0 = a'0 copies, if any)
+        body instructions
+        exit parallel copy         (Method I: a'i = ai copies, if any)
+        terminator
+
+φ-functions are kept in a dedicated list, and the two parallel-copy slots are
+explicit fields rather than ordinary body instructions.  The *exit* parallel
+copy sits just **before** the terminator: the paper's Figure 1 shows that
+"insert the copy at the end of the block" must mean "before the branch", since
+the branch may itself use variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import (
+    Instruction,
+    ParallelCopy,
+    Phi,
+    Terminator,
+    Variable,
+)
+
+
+class BasicBlock:
+    """A single basic block of a :class:`~repro.ir.function.Function`."""
+
+    __slots__ = ("label", "phis", "body", "terminator", "entry_pcopy", "exit_pcopy")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.phis: List[Phi] = []
+        self.body: List[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+        self.entry_pcopy: Optional[ParallelCopy] = None
+        self.exit_pcopy: Optional[ParallelCopy] = None
+
+    # -- construction --------------------------------------------------------
+    def add_phi(self, phi: Phi) -> Phi:
+        self.phis.append(phi)
+        return phi
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append a non-terminator instruction to the body."""
+        if isinstance(instruction, Terminator):
+            raise TypeError("use set_terminator() for terminators")
+        if isinstance(instruction, Phi):
+            raise TypeError("use add_phi() for phi-functions")
+        self.body.append(instruction)
+        return instruction
+
+    def set_terminator(self, terminator: Terminator) -> Terminator:
+        self.terminator = terminator
+        return terminator
+
+    # -- copy-insertion points -------------------------------------------------
+    def get_entry_pcopy(self, create: bool = False) -> Optional[ParallelCopy]:
+        """The parallel copy placed right after the φ-functions."""
+        if self.entry_pcopy is None and create:
+            self.entry_pcopy = ParallelCopy()
+        return self.entry_pcopy
+
+    def get_exit_pcopy(self, create: bool = False) -> Optional[ParallelCopy]:
+        """The parallel copy placed right before the terminator."""
+        if self.exit_pcopy is None and create:
+            self.exit_pcopy = ParallelCopy()
+        return self.exit_pcopy
+
+    def drop_empty_pcopies(self) -> None:
+        if self.entry_pcopy is not None and self.entry_pcopy.is_empty():
+            self.entry_pcopy = None
+        if self.exit_pcopy is not None and self.exit_pcopy.is_empty():
+            self.exit_pcopy = None
+
+    # -- queries ---------------------------------------------------------------
+    def successor_labels(self) -> List[str]:
+        if self.terminator is None:
+            return []
+        return self.terminator.targets()
+
+    def instructions(self, include_phis: bool = True) -> Iterator[Instruction]:
+        """Iterate over the instructions of the block in program order."""
+        if include_phis:
+            for phi in self.phis:
+                yield phi
+        if self.entry_pcopy is not None:
+            yield self.entry_pcopy
+        for instruction in self.body:
+            yield instruction
+        if self.exit_pcopy is not None:
+            yield self.exit_pcopy
+        if self.terminator is not None:
+            yield self.terminator
+
+    def non_phi_instructions(self) -> Iterator[Instruction]:
+        return self.instructions(include_phis=False)
+
+    def defined_variables(self) -> List[Variable]:
+        result: List[Variable] = []
+        for instruction in self.instructions():
+            result.extend(instruction.defs())
+        return result
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self)} instructions)"

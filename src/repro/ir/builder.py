@@ -1,0 +1,167 @@
+"""A small fluent builder for constructing IR functions in code.
+
+The builder keeps examples and tests short::
+
+    fb = FunctionBuilder("max")
+    a, b = fb.params("a", "b")
+    entry, left, right, join = fb.blocks("entry", "left", "right", "join")
+    with fb.at(entry):
+        cond = fb.op("cmp_lt", a, b, name="cond")
+        fb.branch(cond, "right", "left")
+    ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    BrDec,
+    Call,
+    Constant,
+    Copy,
+    Jump,
+    Op,
+    Operand,
+    ParallelCopy,
+    Phi,
+    Print,
+    Return,
+    Variable,
+)
+
+OperandLike = Union[Operand, int, str]
+
+
+class FunctionBuilder:
+    """Imperative construction helper around :class:`Function`."""
+
+    def __init__(self, name: str, params: Tuple[str, ...] = ()) -> None:
+        self.function = Function(name)
+        for param_name in params:
+            self.function.params.append(self.var(param_name))
+        self._current: Optional[BasicBlock] = None
+
+    # -- names -----------------------------------------------------------------
+    def var(self, name: str) -> Variable:
+        """Return (and register) the variable called ``name``."""
+        var = Variable(name)
+        self.function.register_variable(var)
+        return var
+
+    def fresh(self, hint: str = "t") -> Variable:
+        return self.function.new_variable(hint)
+
+    def params(self, *names: str) -> List[Variable]:
+        result = []
+        for name in names:
+            var = self.var(name)
+            self.function.params.append(var)
+            result.append(var)
+        return result
+
+    def _operand(self, value: OperandLike) -> Operand:
+        if isinstance(value, str):
+            return self.var(value)
+        if isinstance(value, int):
+            return Constant(value)
+        return value
+
+    # -- blocks ------------------------------------------------------------------
+    def block(self, label: str) -> BasicBlock:
+        return self.function.add_block(label)
+
+    def blocks(self, *labels: str) -> List[BasicBlock]:
+        return [self.block(label) for label in labels]
+
+    @contextlib.contextmanager
+    def at(self, block: Union[BasicBlock, str]) -> Iterator[BasicBlock]:
+        """Temporarily direct instruction emission into ``block``."""
+        if isinstance(block, str):
+            block = self.function.blocks[block]
+        previous = self._current
+        self._current = block
+        try:
+            yield block
+        finally:
+            self._current = previous
+
+    def _here(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block: use 'with fb.at(block):'")
+        return self._current
+
+    # -- instruction emission -------------------------------------------------------
+    def op(self, opcode: str, *args: OperandLike, name: Optional[str] = None) -> Variable:
+        dst = self.var(name) if name else self.fresh(opcode)
+        self._here().append(Op(dst, opcode, [self._operand(arg) for arg in args]))
+        return dst
+
+    def const(self, value: int, name: Optional[str] = None) -> Variable:
+        return self.op("const", value, name=name)
+
+    def copy(self, dst: Union[Variable, str], src: OperandLike) -> Variable:
+        dst_var = self.var(dst) if isinstance(dst, str) else dst
+        self._here().append(Copy(dst_var, self._operand(src)))
+        return dst_var
+
+    def parallel_copy(self, *pairs: Tuple[Union[Variable, str], OperandLike]) -> ParallelCopy:
+        pcopy = ParallelCopy()
+        for dst, src in pairs:
+            dst_var = self.var(dst) if isinstance(dst, str) else dst
+            pcopy.add(dst_var, self._operand(src))
+        self._here().append(pcopy)
+        return pcopy
+
+    def phi(self, dst: Union[Variable, str], **args: OperandLike) -> Variable:
+        """Add ``dst = φ(pred_label=value, ...)`` to the current block."""
+        dst_var = self.var(dst) if isinstance(dst, str) else dst
+        phi = Phi(dst_var)
+        for label, value in args.items():
+            phi.set_arg(label, self._operand(value))
+        self._here().add_phi(phi)
+        return dst_var
+
+    def call(self, callee: str, *args: OperandLike, name: Optional[str] = None,
+             void: bool = False) -> Optional[Variable]:
+        dst = None if void else (self.var(name) if name else self.fresh(callee))
+        self._here().append(Call(dst, callee, [self._operand(arg) for arg in args]))
+        return dst
+
+    def print(self, value: OperandLike) -> None:
+        self._here().append(Print(self._operand(value)))
+
+    # -- terminators -------------------------------------------------------------------
+    def jump(self, target: Union[BasicBlock, str]) -> None:
+        label = target.label if isinstance(target, BasicBlock) else target
+        self._here().set_terminator(Jump(label))
+        self.function.invalidate_cfg()
+
+    def branch(self, cond: OperandLike, if_true: Union[BasicBlock, str],
+               if_false: Union[BasicBlock, str]) -> None:
+        true_label = if_true.label if isinstance(if_true, BasicBlock) else if_true
+        false_label = if_false.label if isinstance(if_false, BasicBlock) else if_false
+        self._here().set_terminator(Branch(self._operand(cond), true_label, false_label))
+        self.function.invalidate_cfg()
+
+    def br_dec(self, counter: Union[Variable, str], taken: Union[BasicBlock, str],
+               exit_block: Union[BasicBlock, str]) -> None:
+        counter_var = self.var(counter) if isinstance(counter, str) else counter
+        taken_label = taken.label if isinstance(taken, BasicBlock) else taken
+        exit_label = exit_block.label if isinstance(exit_block, BasicBlock) else exit_block
+        self._here().set_terminator(BrDec(counter_var, taken_label, exit_label))
+        self.function.invalidate_cfg()
+
+    def ret(self, value: Optional[OperandLike] = None) -> None:
+        operand = self._operand(value) if value is not None else None
+        self._here().set_terminator(Return(operand))
+        self.function.invalidate_cfg()
+
+    # -- result ----------------------------------------------------------------------------
+    def finish(self) -> Function:
+        """Return the built function."""
+        return self.function

@@ -1,0 +1,159 @@
+"""Program points: a total order of positions inside each basic block.
+
+Liveness queries, live-range intersection tests, and the dominance-order
+sorting of congruence classes all reason about *where* in a block a definition
+or use happens.  The schedule below assigns every instruction of a block an
+integer index:
+
+====================  =====
+φ-functions           0      (all of them: φs execute in parallel)
+entry parallel copy   1
+body instruction i    2 + i
+exit parallel copy    2 + len(body)
+terminator            3 + len(body)
+edge / live-out       4 + len(body)  (pseudo-point where φ-uses of successors read)
+====================  =====
+
+φ-function arguments are *not* uses inside the φ's own block: following the
+standard SSA convention (and the paper's parallel-copy semantics) the argument
+coming from predecessor ``P`` is read "on the edge", i.e. at the pseudo-point
+``EDGE`` of ``P``, after ``P``'s exit parallel copy and terminator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cfg.dominance import DominatorTree
+
+PHI_INDEX = 0
+ENTRY_PCOPY_INDEX = 1
+BODY_START_INDEX = 2
+
+
+def body_index(block: BasicBlock, position: int) -> int:
+    """Index of the ``position``-th body instruction of ``block``."""
+    return BODY_START_INDEX + position
+
+
+def exit_pcopy_index(block: BasicBlock) -> int:
+    return BODY_START_INDEX + len(block.body)
+
+
+def terminator_index(block: BasicBlock) -> int:
+    return BODY_START_INDEX + len(block.body) + 1
+
+
+def edge_index(block: BasicBlock) -> int:
+    """Pseudo-index representing the out-edges of ``block`` (φ-argument reads)."""
+    return BODY_START_INDEX + len(block.body) + 2
+
+
+class ProgramPoint:
+    """A (block label, index) pair, optionally carrying the instruction itself."""
+
+    __slots__ = ("block", "index", "instruction")
+
+    def __init__(self, block: str, index: int, instruction: Optional[Instruction] = None) -> None:
+        self.block = block
+        self.index = index
+        self.instruction = instruction
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ProgramPoint)
+            and self.block == other.block
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.block, self.index))
+
+    def __repr__(self) -> str:
+        return f"ProgramPoint({self.block}, {self.index})"
+
+    def key(self) -> Tuple[str, int]:
+        return (self.block, self.index)
+
+    def dominates(self, other: "ProgramPoint", domtree: "DominatorTree") -> bool:
+        """Does this point dominate ``other``?
+
+        Inside one block the schedule order decides; across blocks the block
+        dominance relation decides.  A point is considered to dominate itself
+        and any later point of the same block.
+        """
+        if self.block == other.block:
+            return self.index <= other.index
+        return domtree.dominates(self.block, other.block)
+
+    def strictly_before(self, other: "ProgramPoint", domtree: "DominatorTree") -> bool:
+        if self.block == other.block:
+            return self.index < other.index
+        return domtree.strictly_dominates(self.block, other.block)
+
+
+def block_schedule(block: BasicBlock) -> List[Tuple[int, Instruction]]:
+    """All (index, instruction) pairs of ``block`` in schedule order."""
+    schedule: List[Tuple[int, Instruction]] = []
+    for phi in block.phis:
+        schedule.append((PHI_INDEX, phi))
+    if block.entry_pcopy is not None:
+        schedule.append((ENTRY_PCOPY_INDEX, block.entry_pcopy))
+    for position, instruction in enumerate(block.body):
+        schedule.append((body_index(block, position), instruction))
+    if block.exit_pcopy is not None:
+        schedule.append((exit_pcopy_index(block), block.exit_pcopy))
+    if block.terminator is not None:
+        schedule.append((terminator_index(block), block.terminator))
+    return schedule
+
+
+def definition_points(function: Function) -> Dict[Variable, ProgramPoint]:
+    """Map every variable to the program point of its (first) definition.
+
+    Function parameters are defined at a virtual point before the entry
+    block's first instruction (index ``-1``).
+    """
+    points: Dict[Variable, ProgramPoint] = {}
+    entry_label = function.entry_label
+    assert entry_label is not None
+    for param in function.params:
+        points[param] = ProgramPoint(entry_label, -1, None)
+    for block in function:
+        for index, instruction in block_schedule(block):
+            for var in instruction.defs():
+                points.setdefault(var, ProgramPoint(block.label, index, instruction))
+    return points
+
+
+def definition_point(function: Function, var: Variable) -> Optional[ProgramPoint]:
+    """The definition point of ``var`` or None if it is never defined."""
+    return definition_points(function).get(var)
+
+
+def use_points(function: Function) -> Dict[Variable, List[ProgramPoint]]:
+    """Map every variable to the list of program points where it is used.
+
+    φ-arguments are attributed to the *edge point* of the corresponding
+    predecessor block (see module docstring).
+    """
+    uses: Dict[Variable, List[ProgramPoint]] = {}
+    for block in function:
+        for index, instruction in block_schedule(block):
+            if isinstance(instruction, Phi):
+                continue
+            for var in instruction.uses():
+                uses.setdefault(var, []).append(ProgramPoint(block.label, index, instruction))
+        for phi in block.phis:
+            for pred_label, arg in phi.args.items():
+                if isinstance(arg, Variable):
+                    pred_block = function.blocks[pred_label]
+                    uses.setdefault(arg, []).append(
+                        ProgramPoint(pred_label, edge_index(pred_block), phi)
+                    )
+    return uses

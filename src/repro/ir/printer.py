@@ -1,0 +1,92 @@
+"""Textual printer for the IR.
+
+The format round-trips through :mod:`repro.ir.parser`, is stable (blocks and
+instructions print in program order), and is what examples and failing tests
+show to the user.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    BrDec,
+    Call,
+    Copy,
+    Instruction,
+    Jump,
+    Op,
+    Operand,
+    ParallelCopy,
+    Phi,
+    Print,
+    Return,
+)
+
+
+def format_operand(operand: Operand) -> str:
+    return str(operand)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction in the textual syntax (no indentation)."""
+    if isinstance(instruction, Phi):
+        args = ", ".join(f"{label}: {format_operand(arg)}" for label, arg in instruction.args.items())
+        return f"{instruction.dst} = phi [{args}]"
+    if isinstance(instruction, Copy):
+        return f"{instruction.dst} = copy {format_operand(instruction.src)}"
+    if isinstance(instruction, ParallelCopy):
+        pairs = ", ".join(f"{dst} <- {format_operand(src)}" for dst, src in instruction.pairs)
+        return f"pcopy {pairs}"
+    if isinstance(instruction, Op):
+        args = ", ".join(format_operand(arg) for arg in instruction.args)
+        return f"{instruction.dst} = {instruction.opcode} {args}".rstrip()
+    if isinstance(instruction, Call):
+        args = ", ".join(format_operand(arg) for arg in instruction.args)
+        if instruction.dst is not None:
+            return f"{instruction.dst} = call {instruction.callee}({args})"
+        return f"call {instruction.callee}({args})"
+    if isinstance(instruction, Print):
+        return f"print {format_operand(instruction.value)}"
+    if isinstance(instruction, Jump):
+        return f"jump {instruction.target}"
+    if isinstance(instruction, Branch):
+        return f"br {format_operand(instruction.cond)}, {instruction.if_true}, {instruction.if_false}"
+    if isinstance(instruction, BrDec):
+        return f"brdec {instruction.counter}, {instruction.taken}, {instruction.exit}"
+    if isinstance(instruction, Return):
+        if instruction.value is not None:
+            return f"ret {format_operand(instruction.value)}"
+        return "ret"
+    raise TypeError(f"unknown instruction {instruction!r}")
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    lines: List[str] = [f"{indent}{block.label}:"]
+    inner = indent * 2
+    for phi in block.phis:
+        lines.append(f"{inner}{format_instruction(phi)}")
+    if block.entry_pcopy is not None and not block.entry_pcopy.is_empty():
+        lines.append(f"{inner}{format_instruction(block.entry_pcopy)} @entry")
+    for instruction in block.body:
+        lines.append(f"{inner}{format_instruction(instruction)}")
+    if block.exit_pcopy is not None and not block.exit_pcopy.is_empty():
+        lines.append(f"{inner}{format_instruction(block.exit_pcopy)} @exit")
+    if block.terminator is not None:
+        lines.append(f"{inner}{format_instruction(block.terminator)}")
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    """Render a whole function; the output parses back with ``parse_function``."""
+    params = ", ".join(str(param) for param in function.params)
+    lines = [f"function {function.name}({params}) {{"]
+    for var, register in function.pinned.items():
+        lines.append(f"  pin {var} {register}")
+    for block in function:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

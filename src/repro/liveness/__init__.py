@@ -1,0 +1,29 @@
+"""Liveness analyses.
+
+Two interchangeable *oracles* answer the liveness queries needed by the
+out-of-SSA translation:
+
+* :class:`~repro.liveness.dataflow.LivenessSets` — classic iterative data-flow
+  analysis computing live-in / live-out sets per block (the baseline the
+  paper's "Sreedhar III" configuration uses);
+* :class:`~repro.liveness.livecheck.LivenessChecker` — liveness *checking*
+  without global sets, from CFG-only precomputation plus per-variable cached
+  backward walks (the role played by fast liveness checking [16] in the
+  paper's "LiveCheck" configurations).
+
+Both share the query interface of :class:`~repro.liveness.base.LivenessOracle`
+so every engine can be instantiated with either.
+"""
+
+from repro.liveness.base import LivenessOracle
+from repro.liveness.dataflow import LivenessSets
+from repro.liveness.livecheck import LivenessChecker
+from repro.liveness.intersection import IntersectionOracle, live_ranges_intersect
+
+__all__ = [
+    "LivenessOracle",
+    "LivenessSets",
+    "LivenessChecker",
+    "IntersectionOracle",
+    "live_ranges_intersect",
+]

@@ -1,0 +1,85 @@
+"""Live-range intersection tests.
+
+The paper (§IV-A) surveys three ways to answer "do the live ranges of two SSA
+variables intersect?".  All of them reduce, thanks to the dominance property,
+to the check of Budimlić et al.: *the variable whose definition dominates the
+definition of the other intersects it iff it is live at that second definition
+point*.  The :class:`IntersectionOracle` implements exactly that on top of any
+:class:`~repro.liveness.base.LivenessOracle` (data-flow sets or liveness
+checking), so that every engine configuration of Figure 6 shares one code
+path and differs only in the oracle it plugs in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.liveness.base import LivenessOracle
+from repro.liveness.dataflow import LivenessSets
+
+
+class IntersectionOracle:
+    """Dominance-based live-range intersection test with query counting."""
+
+    def __init__(
+        self,
+        function: Function,
+        liveness: LivenessOracle,
+        domtree: Optional[DominatorTree] = None,
+    ) -> None:
+        self.function = function
+        self.liveness = liveness
+        self.domtree = domtree or DominatorTree(function)
+        self.query_count = 0
+
+    def intersect(self, a: Variable, b: Variable) -> bool:
+        """Do the live ranges of ``a`` and ``b`` intersect?"""
+        self.query_count += 1
+        if a == b:
+            return True
+        def_a = self.liveness.definition_of(a)
+        def_b = self.liveness.definition_of(b)
+        if def_a is None or def_b is None:
+            return False
+
+        # In strict SSA two live ranges can only intersect if one definition
+        # dominates the other (Budimlić et al.); check the dominated one.
+        if def_a.dominates(def_b, self.domtree):
+            if self.liveness.is_live_after(def_b.block, def_b.index, a):
+                return True
+        if def_b.dominates(def_a, self.domtree):
+            if self.liveness.is_live_after(def_a.block, def_a.index, b):
+                return True
+        return False
+
+    def dominance_order_key(self, var: Variable):
+        """Sort key placing variables in dominance pre-order of their definitions.
+
+        This is the order ≺ used to keep congruence classes sorted for the
+        linear interference test (§IV-B).
+        """
+        def_point = self.liveness.definition_of(var)
+        if def_point is None:
+            return (-1, -1, var.name)
+        return (
+            self.domtree.preorder_index(def_point.block),
+            def_point.index,
+            var.name,
+        )
+
+    def dominates(self, a: Variable, b: Variable) -> bool:
+        """Does the definition of ``a`` dominate the definition of ``b``?"""
+        def_a = self.liveness.definition_of(a)
+        def_b = self.liveness.definition_of(b)
+        if def_a is None or def_b is None:
+            return False
+        return def_a.dominates(def_b, self.domtree)
+
+
+def live_ranges_intersect(function: Function, a: Variable, b: Variable) -> bool:
+    """Convenience one-shot intersection test (builds a data-flow oracle)."""
+    liveness = LivenessSets(function)
+    return IntersectionOracle(function, liveness).intersect(a, b)

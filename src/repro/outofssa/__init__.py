@@ -1,0 +1,39 @@
+"""Out-of-SSA translation engines.
+
+* :mod:`repro.outofssa.naive` — the (incorrect) naive Cytron replacement,
+  kept as a negative control for the lost-copy / swap problems;
+* :mod:`repro.outofssa.method_i` — Sreedhar et al. Method I copy insertion
+  with parallel copies (the paper's correctness phase, Lemma 1);
+* :mod:`repro.outofssa.parallel_copy` — optimal sequentialization of parallel
+  copies (paper Algorithm 1);
+* :mod:`repro.outofssa.pinning` — register renaming constraints via pinned
+  variables (§III-D);
+* :mod:`repro.outofssa.sreedhar` — the Sreedhar Method III style baseline;
+* :mod:`repro.outofssa.boissinot` — the paper's translation (Us I / Us III
+  with the InterCheck / LiveCheck / Linear options);
+* :mod:`repro.outofssa.driver` — the public `destruct_ssa` entry point and
+  the named engine configurations of Figures 6 and 7.
+"""
+
+from repro.outofssa.driver import (
+    EngineConfig,
+    OutOfSSAResult,
+    destruct_ssa,
+    ENGINE_CONFIGURATIONS,
+)
+from repro.outofssa.method_i import IsolationError, insert_phi_copies
+from repro.outofssa.naive import naive_destruction
+from repro.outofssa.parallel_copy import sequentialize_parallel_copy
+from repro.outofssa.pinning import apply_calling_convention
+
+__all__ = [
+    "EngineConfig",
+    "OutOfSSAResult",
+    "destruct_ssa",
+    "ENGINE_CONFIGURATIONS",
+    "IsolationError",
+    "insert_phi_copies",
+    "naive_destruction",
+    "sequentialize_parallel_copy",
+    "apply_calling_convention",
+]

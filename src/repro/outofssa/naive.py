@@ -1,0 +1,34 @@
+"""The naive Cytron-style φ replacement — intentionally kept incorrect.
+
+"A k-input φ-function at entrance of a node X can be replaced by k ordinary
+assignments, one at the end of each control flow predecessor of X" (Cytron et
+al.).  Briggs et al. showed this miscompiles programs with critical edges
+(lost-copy problem) or φ-cycles (swap problem).  The engine is kept in-tree as
+a *negative control*: the test-suite asserts that it breaks exactly those
+programs while every other engine translates them correctly.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Copy
+
+
+def naive_destruction(function: Function) -> Function:
+    """Replace every φ by sequential copies at the end of the predecessors.
+
+    The transformation is done in place and the function is returned.  The
+    output is generally *not* semantically equivalent to the input (that is
+    the point); use :func:`repro.outofssa.driver.destruct_ssa` for a correct
+    translation.
+    """
+    for block in list(function):
+        if not block.phis:
+            continue
+        for phi in block.phis:
+            for pred_label, arg in phi.args.items():
+                pred_block = function.blocks[pred_label]
+                pred_block.append(Copy(phi.dst, arg))
+        block.phis = []
+    function.invalidate_cfg()
+    return function

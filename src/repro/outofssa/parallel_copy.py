@@ -1,0 +1,113 @@
+"""Sequentialization of parallel copies — the paper's Algorithm 1.
+
+A parallel copy ``(b1, ..., bk) = (a1, ..., ak)`` reads all sources before
+writing any destination.  To emit ordinary sequential copies we view the copy
+as a directed graph with an edge ``a -> b`` per component: every vertex has at
+most one incoming edge, so each connected component is a (possible) cycle with
+trees hanging off it.  Tree edges are emitted leaves-first; a cycle needs one
+extra copy through a fresh temporary **only** when none of its vertices was
+also copied somewhere else (no duplication available).  The algorithm below is
+the paper's worklist formulation (``ready`` / ``to_do`` / ``loc`` / ``pred``)
+and emits the minimum possible number of copies.
+
+Sources may be constants: a constant behaves like a read-only vertex that is
+always available and never needs saving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Constant, Copy, Operand, ParallelCopy, Variable
+
+
+def sequentialize_parallel_copy(
+    pairs: Sequence[Tuple[Variable, Operand]],
+    fresh_variable: Callable[[], Variable],
+) -> List[Copy]:
+    """Emit sequential copies implementing the parallel copy ``pairs``.
+
+    ``fresh_variable`` is called at most once per cyclic permutation to obtain
+    the temporary used to break the cycle.  Self-copies ``a = a`` are dropped.
+    Raises ``ValueError`` if two components define the same destination.
+    """
+    copies: List[Copy] = []
+    worklist = [(dst, src) for dst, src in pairs if dst != src]
+    seen_dst = set()
+    for dst, _ in worklist:
+        if dst in seen_dst:
+            raise ValueError(f"parallel copy defines {dst} twice")
+        seen_dst.add(dst)
+
+    if not worklist:
+        return copies
+
+    # ``loc[s]``: where the initial value of source ``s`` currently lives.
+    # ``pred[d]``: the source that must end up in destination ``d``.
+    loc: Dict[Operand, Optional[Operand]] = {}
+    pred: Dict[Variable, Operand] = {}
+    ready: List[Variable] = []
+    to_do: List[Variable] = []
+
+    for dst, src in worklist:
+        loc[dst] = None
+        if isinstance(src, Variable):
+            loc[src] = None
+
+    for dst, src in worklist:
+        if isinstance(src, Constant):
+            loc[src] = src  # constants are always available, never overwritten
+        else:
+            loc[src] = src
+        pred[dst] = src
+        to_do.append(dst)
+
+    for dst, _ in worklist:
+        if loc[dst] is None:
+            # ``dst``'s initial value is not needed by any other copy: it can
+            # be overwritten immediately (tree leaf).
+            ready.append(dst)
+
+    def emit(src: Operand, dst: Variable) -> None:
+        copies.append(Copy(dst, src))
+
+    while to_do:
+        while ready:
+            dst = ready.pop()
+            src = pred[dst]
+            current_loc = loc[src]
+            assert current_loc is not None
+            emit(current_loc, dst)
+            loc[src] = dst
+            # If the source was still sitting in its original variable and
+            # that variable is itself a destination, it is now free.
+            if isinstance(src, Variable) and current_loc == src and src in pred:
+                ready.append(src)
+
+        dst = to_do.pop()
+        if dst == loc.get(dst):
+            # ``dst`` still holds a value someone needs and nobody saved it
+            # elsewhere: we are on a cycle with no duplication.  Break it by
+            # saving ``dst`` into a fresh temporary.
+            temp = fresh_variable()
+            emit(dst, temp)
+            loc[dst] = temp
+            ready.append(dst)
+
+    return copies
+
+
+def sequentialize_instruction(
+    pcopy: ParallelCopy,
+    fresh_variable: Callable[[], Variable],
+) -> List[Copy]:
+    """Sequentialize a :class:`ParallelCopy` instruction."""
+    return sequentialize_parallel_copy(pcopy.pairs, fresh_variable)
+
+
+def emitted_copy_count(
+    pairs: Sequence[Tuple[Variable, Operand]],
+    fresh_variable: Callable[[], Variable],
+) -> int:
+    """Number of sequential copies needed for ``pairs`` (self-copies excluded)."""
+    return len(sequentialize_parallel_copy(pairs, fresh_variable))

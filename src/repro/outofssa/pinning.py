@@ -1,0 +1,98 @@
+"""Register renaming constraints via pinned variables (paper §III-D).
+
+Calling conventions and dedicated registers pre-allocate some variables to
+architectural registers.  The paper handles them by:
+
+* splitting the live range of every pinned variable with parallel copies
+  placed immediately before/after the constraining instruction, so the pinned
+  variable spans only that instruction;
+* pre-coalescing all variables pinned to one register into a single
+  congruence class labelled by that register;
+* declaring two classes labelled with *different* registers as always
+  interfering.
+
+``apply_calling_convention`` implements the live-range splitting for ``Call``
+instructions on a toy ABI (arguments in ``R0..R3``, result in ``R0``); the
+class labelling lives in :mod:`repro.interference.congruence` and the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Constant, Instruction, ParallelCopy, Variable
+
+
+@dataclass
+class PinnedCopies:
+    """Copies inserted to isolate pinned variables around calls."""
+
+    #: (dst, src, block label) triples, candidates for coalescing.
+    copies: List[Tuple[Variable, object, str]] = field(default_factory=list)
+    #: Variables pinned to each register, in insertion order.
+    pinned_groups: Dict[str, List[Variable]] = field(default_factory=dict)
+
+
+def apply_calling_convention(
+    function: Function,
+    argument_registers: Sequence[str] = ("R0", "R1", "R2", "R3"),
+    return_register: str = "R0",
+) -> PinnedCopies:
+    """Split live ranges around every call according to the toy ABI, in place.
+
+    Each call argument is first copied (by a parallel copy placed right before
+    the call) into a fresh variable pinned to the corresponding argument
+    register; the call result is produced in a fresh variable pinned to the
+    return register and copied back into the original destination right after
+    the call.  The copies are returned so the coalescer can try to remove
+    them.
+    """
+    result = PinnedCopies()
+
+    for block in function:
+        new_body: List[Instruction] = []
+        for instruction in block.body:
+            if not isinstance(instruction, Call):
+                new_body.append(instruction)
+                continue
+
+            before = ParallelCopy()
+            for position, arg in enumerate(list(instruction.args)):
+                if position >= len(argument_registers):
+                    break  # extra arguments are passed unconstrained (stack)
+                register = argument_registers[position]
+                pinned_var = function.new_variable(f"arg{position}")
+                function.pin(pinned_var, register)
+                result.pinned_groups.setdefault(register, []).append(pinned_var)
+                before.add(pinned_var, arg)
+                instruction.args[position] = pinned_var
+                result.copies.append((pinned_var, arg, block.label))
+            if not before.is_empty():
+                new_body.append(before)
+
+            new_body.append(instruction)
+
+            if instruction.dst is not None:
+                original_dst = instruction.dst
+                pinned_result = function.new_variable("retval")
+                function.pin(pinned_result, return_register)
+                result.pinned_groups.setdefault(return_register, []).append(pinned_result)
+                instruction.dst = pinned_result
+                after = ParallelCopy()
+                after.add(original_dst, pinned_result)
+                new_body.append(after)
+                result.copies.append((original_dst, pinned_result, block.label))
+        block.body = new_body
+
+    function.invalidate_cfg()
+    return result
+
+
+def pinned_register_groups(function: Function) -> Dict[str, List[Variable]]:
+    """Group the function's pinned variables by architectural register."""
+    groups: Dict[str, List[Variable]] = {}
+    for var, register in function.pinned.items():
+        groups.setdefault(register, []).append(var)
+    return groups

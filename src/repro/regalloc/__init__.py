@@ -1,0 +1,22 @@
+"""A small linear-scan register allocator.
+
+The paper's motivation is JIT compilation, where "register allocation often
+relies on linear scan techniques in order to save compilation time and space
+by avoiding interference graphs" (§I).  This package provides the natural
+downstream consumer of the out-of-SSA translation: live-interval construction
+over the translated (non-SSA) code and a Poletto/Sarkar-style linear-scan
+allocator that honours the pinned-register constraints of
+:mod:`repro.outofssa.pinning`.
+"""
+
+from repro.regalloc.intervals import LiveInterval, build_live_intervals, linearize_blocks
+from repro.regalloc.linear_scan import Allocation, Location, allocate_registers
+
+__all__ = [
+    "LiveInterval",
+    "build_live_intervals",
+    "linearize_blocks",
+    "Allocation",
+    "Location",
+    "allocate_registers",
+]

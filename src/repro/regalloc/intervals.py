@@ -1,0 +1,116 @@
+"""Live-interval construction for linear-scan register allocation.
+
+Blocks are linearized in reverse post-order and every instruction receives an
+increasing number.  A variable's live interval is the conservative span from
+its first definition (or the function entry for parameters and live-in values)
+to the last point where it is live — the classic single-interval
+approximation used by linear scan, extended so that variables live across a
+loop back-edge cover the whole loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.traversal import reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.liveness.dataflow import LivenessSets
+
+
+@dataclass
+class LiveInterval:
+    """Half-open interval ``[start, end)`` in the linearized instruction order."""
+
+    variable: Variable
+    start: int
+    end: int
+    #: Architectural register this variable is pinned to, if any.
+    pinned: Optional[str] = None
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:
+        pin = f", pin={self.pinned}" if self.pinned else ""
+        return f"LiveInterval({self.variable}, [{self.start}, {self.end}){pin})"
+
+
+def linearize_blocks(function: Function) -> List[str]:
+    """The block order used for interval numbering (reverse post-order)."""
+    order = reverse_postorder(function)
+    # Unreachable blocks are appended at the end so every instruction gets a number.
+    for label in function.blocks:
+        if label not in order:
+            order.append(label)
+    return order
+
+
+def _number_instructions(function: Function, order: List[str]) -> Tuple[Dict[str, Tuple[int, int]], int]:
+    """Assign each block a [first, last] instruction-number range."""
+    ranges: Dict[str, Tuple[int, int]] = {}
+    counter = 0
+    for label in order:
+        block = function.blocks[label]
+        first = counter
+        size = sum(1 for _ in block.instructions())
+        counter += max(size, 1)
+        ranges[label] = (first, counter)  # end is exclusive
+    return ranges, counter
+
+
+def build_live_intervals(function: Function) -> List[LiveInterval]:
+    """Compute one conservative live interval per variable.
+
+    The intervals honour block-level liveness: if a variable is live-in
+    (live-out) of a block, its interval covers the block start (end).  Within
+    a block, positions of definitions and uses refine the endpoints.
+    """
+    order = linearize_blocks(function)
+    ranges, _total = _number_instructions(function, order)
+    liveness = LivenessSets(function)
+
+    starts: Dict[Variable, int] = {}
+    ends: Dict[Variable, int] = {}
+
+    def record(var: Variable, position: int) -> None:
+        if var not in starts or position < starts[var]:
+            starts[var] = position
+        if var not in ends or position + 1 > ends[var]:
+            ends[var] = position + 1
+
+    # Parameters are live from the very beginning.
+    for param in function.params:
+        record(param, 0)
+
+    for label in order:
+        block = function.blocks[label]
+        block_start, block_end = ranges[label]
+        for var in function.variables():
+            if liveness.is_live_in(label, var):
+                record(var, block_start)
+            if liveness.is_live_out(label, var):
+                record(var, block_end - 1)
+        position = block_start
+        for instruction in block.instructions():
+            for var in instruction.uses():
+                record(var, position)
+            for var in instruction.defs():
+                record(var, position)
+            position += 1
+
+    intervals = []
+    for var in function.variables():
+        if var not in starts:
+            continue
+        intervals.append(
+            LiveInterval(
+                variable=var,
+                start=starts[var],
+                end=ends[var],
+                pinned=function.pinned.get(var),
+            )
+        )
+    intervals.sort(key=lambda interval: (interval.start, interval.end, interval.variable.name))
+    return intervals

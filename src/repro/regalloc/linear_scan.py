@@ -1,0 +1,193 @@
+"""Poletto/Sarkar-style linear-scan register allocation.
+
+Intervals are walked in order of increasing start point; expired intervals
+free their registers; when no register is free the active interval with the
+furthest end point is spilled to a stack slot.  Variables pinned to an
+architectural register (calling conventions, §III-D of the paper) receive that
+register; a conflicting active interval holding it is evicted to another free
+register or spilled.
+
+The result is an :class:`Allocation` mapping every variable to a
+:class:`Location` (register or stack slot), plus spill statistics — what a JIT
+back-end would consume right after the out-of-SSA translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.regalloc.intervals import LiveInterval, build_live_intervals
+
+
+@dataclass(frozen=True)
+class Location:
+    """Either an architectural register or a spill slot."""
+
+    kind: str                 #: "register" or "stack"
+    name: str                 #: register name, or "slotN"
+
+    @property
+    def is_register(self) -> bool:
+        return self.kind == "register"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation."""
+
+    locations: Dict[Variable, Location] = field(default_factory=dict)
+    intervals: List[LiveInterval] = field(default_factory=list)
+    spilled: List[Variable] = field(default_factory=list)
+    registers: Sequence[str] = ()
+
+    def location_of(self, var: Variable) -> Optional[Location]:
+        return self.locations.get(var)
+
+    def register_of(self, var: Variable) -> Optional[str]:
+        location = self.locations.get(var)
+        if location is not None and location.is_register:
+            return location.name
+        return None
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled)
+
+    def used_registers(self) -> List[str]:
+        used = {loc.name for loc in self.locations.values() if loc.is_register}
+        return [reg for reg in self.registers if reg in used]
+
+
+class AllocationError(Exception):
+    """Raised when pinning constraints are unsatisfiable (unknown register)."""
+
+
+def allocate_registers(
+    function: Function,
+    registers: Sequence[str] = ("R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"),
+    intervals: Optional[List[LiveInterval]] = None,
+) -> Allocation:
+    """Allocate every variable of (post-SSA) ``function`` to a register or slot."""
+    intervals = intervals if intervals is not None else build_live_intervals(function)
+    allocation = Allocation(intervals=intervals, registers=tuple(registers))
+
+    for interval in intervals:
+        if interval.pinned is not None and interval.pinned not in registers:
+            raise AllocationError(
+                f"{interval.variable} is pinned to unknown register {interval.pinned!r}"
+            )
+
+    # Every variable keeps a single location for its whole lifetime (there is
+    # no second splitting pass), so registers needed by pinned intervals are
+    # *reserved* for those ranges up front and ordinary intervals simply avoid
+    # them; this keeps the allocation valid without mid-interval moves.
+    reservations: Dict[str, List[LiveInterval]] = {}
+    for interval in intervals:
+        if interval.pinned is not None:
+            reservations.setdefault(interval.pinned, []).append(interval)
+
+    def conflicts_with_reservation(register: str, interval: LiveInterval) -> bool:
+        return any(
+            reserved is not interval and reserved.overlaps(interval)
+            for reserved in reservations.get(register, ())
+        )
+
+    free: List[str] = list(registers)
+    active: List[LiveInterval] = []           # sorted by increasing end point
+    slot_counter = 0
+
+    def assign(interval: LiveInterval, register: str) -> None:
+        allocation.locations[interval.variable] = Location("register", register)
+        active.append(interval)
+        active.sort(key=lambda item: item.end)
+
+    def spill_to_slot(interval: LiveInterval) -> None:
+        nonlocal slot_counter
+        allocation.locations[interval.variable] = Location("stack", f"slot{slot_counter}")
+        allocation.spilled.append(interval.variable)
+        slot_counter += 1
+
+    def expire(position: int) -> None:
+        while active and active[0].end <= position:
+            expired = active.pop(0)
+            register = allocation.register_of(expired.variable)
+            if register is not None:
+                free.append(register)
+
+    def register_holder(register: str) -> Optional[LiveInterval]:
+        for item in active:
+            if allocation.register_of(item.variable) == register:
+                return item
+        return None
+
+    for interval in intervals:
+        expire(interval.start)
+
+        if interval.pinned is not None:
+            register = interval.pinned
+            if register in free:
+                free.remove(register)
+                assign(interval, register)
+                continue
+            holder = register_holder(register)
+            if holder is None:
+                # Another pinned interval was spilled away from it earlier.
+                assign(interval, register)
+                continue
+            # The reservation check keeps ordinary intervals away from this
+            # register, so the holder can only be another pinned interval
+            # (overlapping pins to one register): spill the newcomer.
+            spill_to_slot(interval)
+            continue
+
+        usable = [reg for reg in free if not conflicts_with_reservation(reg, interval)]
+        if usable:
+            register = usable[0]
+            free.remove(register)
+            assign(interval, register)
+            continue
+
+        # No usable register: try to spill the active interval that ends last,
+        # provided its register is actually usable for the current interval.
+        for candidate in reversed(active):
+            if candidate.pinned is not None or candidate.end <= interval.end:
+                continue
+            register = allocation.register_of(candidate.variable)
+            if register is None or conflicts_with_reservation(register, interval):
+                continue
+            active.remove(candidate)
+            del allocation.locations[candidate.variable]
+            spill_to_slot(candidate)
+            assign(interval, register)
+            break
+        else:
+            spill_to_slot(interval)
+
+    return allocation
+
+
+def verify_allocation(allocation: Allocation) -> None:
+    """Check that no two overlapping intervals share a register.
+
+    Raises ``AssertionError`` on violation; used by the test-suite and
+    available to users as a sanity check.
+    """
+    register_intervals: Dict[str, List[LiveInterval]] = {}
+    for interval in allocation.intervals:
+        register = allocation.register_of(interval.variable)
+        if register is None:
+            continue
+        register_intervals.setdefault(register, []).append(interval)
+    for register, intervals in register_intervals.items():
+        ordered = sorted(intervals, key=lambda item: item.start)
+        for first, second in zip(ordered, ordered[1:]):
+            assert not first.overlaps(second), (
+                f"register {register} assigned to overlapping intervals "
+                f"{first} and {second}"
+            )

@@ -1,0 +1,32 @@
+"""SSA middle-end: construction, the optimizations that break CSSA, values.
+
+The paper's starting point is an SSA program that is *not* conventional any
+more because optimizations (copy propagation, value numbering, code motion)
+made φ-related live ranges overlap.  This package provides:
+
+* :func:`~repro.ssa.construction.construct_ssa` — Cytron-style SSA
+  construction (pruned φ-placement on dominance frontiers + renaming);
+* :func:`~repro.ssa.copy_folding.fold_copies` and
+  :func:`~repro.ssa.copy_folding.value_number` — the CSSA-breaking cleanups;
+* :class:`~repro.ssa.values.ValueTable` — the paper's "SSA value" V(x),
+  computed for free by walking copies in dominance order (§III-A);
+* :mod:`~repro.ssa.cssa` — φ-webs and the conventional-SSA check;
+* :mod:`~repro.ssa.cleanup` — dead-code and trivial-φ removal.
+"""
+
+from repro.ssa.construction import construct_ssa
+from repro.ssa.copy_folding import fold_copies, value_number
+from repro.ssa.values import ValueTable
+from repro.ssa.cssa import phi_webs, is_conventional
+from repro.ssa.cleanup import remove_dead_code, remove_trivial_phis
+
+__all__ = [
+    "construct_ssa",
+    "fold_copies",
+    "value_number",
+    "ValueTable",
+    "phi_webs",
+    "is_conventional",
+    "remove_dead_code",
+    "remove_trivial_phis",
+]

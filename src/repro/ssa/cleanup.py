@@ -1,0 +1,107 @@
+"""Dead-code elimination and trivial-φ removal for SSA programs.
+
+Cytron et al. already observe that the naive φ replacement only yields decent
+code "if the naive replacement is preceded by dead code elimination"; both
+the workload generator and the out-of-SSA engines use these passes to keep
+their inputs/outputs tidy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Copy, Op, ParallelCopy, Phi, Print, Variable
+
+
+_SIDE_EFFECT_FREE = (Op, Copy, Phi)
+
+
+def remove_dead_code(function: Function) -> int:
+    """Iteratively remove side-effect-free instructions whose results are unused.
+
+    Returns the number of instructions (or parallel-copy components) removed.
+    ``Call`` and ``Print`` instructions are conservatively kept.
+    """
+    removed_total = 0
+    while True:
+        used: Set[Variable] = set()
+        for block in function:
+            for instruction in block.instructions():
+                used.update(instruction.uses())
+
+        removed = 0
+        for block in function:
+            kept_phis = []
+            for phi in block.phis:
+                if phi.dst in used:
+                    kept_phis.append(phi)
+                else:
+                    removed += 1
+            block.phis = kept_phis
+
+            kept_body = []
+            for instruction in block.body:
+                if isinstance(instruction, (Op, Copy)) and not any(
+                    var in used for var in instruction.defs()
+                ):
+                    removed += 1
+                    continue
+                if isinstance(instruction, ParallelCopy):
+                    before = len(instruction.pairs)
+                    instruction.pairs = [(d, s) for d, s in instruction.pairs if d in used]
+                    removed += before - len(instruction.pairs)
+                    if instruction.is_empty():
+                        continue
+                kept_body.append(instruction)
+            block.body = kept_body
+
+            for pcopy_attr in ("entry_pcopy", "exit_pcopy"):
+                pcopy = getattr(block, pcopy_attr)
+                if pcopy is not None:
+                    before = len(pcopy.pairs)
+                    pcopy.pairs = [(d, s) for d, s in pcopy.pairs if d in used]
+                    removed += before - len(pcopy.pairs)
+            block.drop_empty_pcopies()
+
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def remove_trivial_phis(function: Function) -> int:
+    """Remove φ-functions whose arguments are all identical (or the φ itself).
+
+    ``x = φ(a, a, ..., a)`` is replaced by rewriting every use of ``x`` to
+    ``a``.  Returns the number of φ-functions removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        replacement: Dict[Variable, object] = {}
+        for block in function:
+            kept = []
+            for phi in block.phis:
+                distinct = {arg for arg in phi.args.values() if arg != phi.dst}
+                if len(distinct) == 1:
+                    replacement[phi.dst] = next(iter(distinct))
+                    removed += 1
+                    changed = True
+                else:
+                    kept.append(phi)
+            block.phis = kept
+        if replacement:
+            # Resolve chains (x -> a where a itself was replaced by b this round).
+            def resolve(value):
+                seen = set()
+                while isinstance(value, Variable) and value in replacement and value not in seen:
+                    seen.add(value)
+                    value = replacement[value]
+                return value
+
+            resolved = {var: resolve(target) for var, target in replacement.items()}
+            for block in function:
+                for instruction in block.instructions():
+                    instruction.replace_uses(resolved)  # type: ignore[arg-type]
+    return removed

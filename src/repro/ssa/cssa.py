@@ -1,0 +1,67 @@
+"""φ-webs and the conventional-SSA (CSSA) property.
+
+A program is in CSSA when, for every φ-web (set of variables connected
+transitively through φ-functions), all members can be renamed to one variable
+without changing the semantics — equivalently, when no two members have
+intersecting live ranges.  Code straight out of SSA construction is CSSA;
+copy propagation and value numbering generally break the property, which is
+precisely why a non-trivial out-of-SSA translation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.liveness.base import LivenessOracle
+from repro.liveness.dataflow import LivenessSets
+from repro.liveness.intersection import IntersectionOracle
+from repro.utils.unionfind import UnionFind
+
+
+def phi_webs(function: Function) -> Dict[Variable, List[Variable]]:
+    """Group variables connected (transitively) by φ-functions.
+
+    Returns a map from a representative variable to the members of its web;
+    variables not involved in any φ are omitted.
+    """
+    uf = UnionFind()
+    involved: List[Variable] = []
+    for phi in function.phis():
+        uf.add(phi.dst)
+        involved.append(phi.dst)
+        for arg in phi.args.values():
+            if isinstance(arg, Variable):
+                uf.add(arg)
+                involved.append(arg)
+                uf.union(phi.dst, arg)
+    webs: Dict[Variable, List[Variable]] = {}
+    seen = set()
+    for var in involved:
+        if var in seen:
+            continue
+        seen.add(var)
+        webs.setdefault(uf.find(var), []).append(var)
+    return webs
+
+
+def conventionality_violations(
+    function: Function,
+    liveness: Optional[LivenessOracle] = None,
+) -> List[Tuple[Variable, Variable]]:
+    """All pairs of φ-web members whose live ranges intersect."""
+    liveness = liveness or LivenessSets(function)
+    oracle = IntersectionOracle(function, liveness)
+    violations: List[Tuple[Variable, Variable]] = []
+    for members in phi_webs(function).values():
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if a != b and oracle.intersect(a, b):
+                    violations.append((a, b))
+    return violations
+
+
+def is_conventional(function: Function, liveness: Optional[LivenessOracle] = None) -> bool:
+    """Is ``function`` in conventional SSA form?"""
+    return not conventionality_violations(function, liveness)

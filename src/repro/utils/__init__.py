@@ -1,0 +1,22 @@
+"""Small generic data structures shared by the rest of the library.
+
+The implementations here intentionally mirror the data structures discussed in
+the paper's efficiency section (ordered sets, bit sets, a union-find used for
+congruence-class bookkeeping) and the allocation-instrumentation facility used
+to reproduce the memory-footprint experiment (Figure 7).
+"""
+
+from repro.utils.orderedset import OrderedSet
+from repro.utils.bitset import BitSet, BitMatrix
+from repro.utils.unionfind import UnionFind
+from repro.utils.instrument import AllocationTracker, current_tracker, track_allocations
+
+__all__ = [
+    "OrderedSet",
+    "BitSet",
+    "BitMatrix",
+    "UnionFind",
+    "AllocationTracker",
+    "current_tracker",
+    "track_allocations",
+]

@@ -1,0 +1,174 @@
+"""Bit sets and a half (triangular) bit matrix.
+
+The paper's baseline stores the interference graph as a *half-size bit
+matrix* and evaluates liveness sets stored as bit sets with the closed-form
+footprint ``ceil(#variables / 8) * #basicblocks * 2``.  These classes provide
+both the functional behaviour and the byte-accounting needed to regenerate
+Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class BitSet:
+    """A fixed-universe bit set over integer indices ``0 .. universe-1``."""
+
+    __slots__ = ("_bits", "universe")
+
+    def __init__(self, universe: int, items: Optional[Iterable[int]] = None) -> None:
+        if universe < 0:
+            raise ValueError("universe size must be non-negative")
+        self.universe = universe
+        self._bits = 0
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def _check(self, item: int) -> None:
+        if not (0 <= item < self.universe):
+            raise IndexError(f"index {item} out of universe [0, {self.universe})")
+
+    def add(self, item: int) -> None:
+        self._check(item)
+        self._bits |= 1 << item
+
+    def discard(self, item: int) -> None:
+        self._check(item)
+        self._bits &= ~(1 << item)
+
+    def __contains__(self, item: int) -> bool:
+        if not (0 <= item < self.universe):
+            return False
+        return bool(self._bits >> item & 1)
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        index = 0
+        while bits:
+            if bits & 1:
+                yield index
+            bits >>= 1
+            index += 1
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitSet):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "BitSet({})".format(sorted(self))
+
+    # -- set algebra ---------------------------------------------------------
+    def union_update(self, other: "BitSet") -> bool:
+        """In-place union; returns True if this set changed (for fixpoints)."""
+        before = self._bits
+        self._bits |= other._bits
+        return self._bits != before
+
+    def union(self, other: "BitSet") -> "BitSet":
+        new = BitSet(max(self.universe, other.universe))
+        new._bits = self._bits | other._bits
+        return new
+
+    def intersection(self, other: "BitSet") -> "BitSet":
+        new = BitSet(max(self.universe, other.universe))
+        new._bits = self._bits & other._bits
+        return new
+
+    def difference(self, other: "BitSet") -> "BitSet":
+        new = BitSet(self.universe)
+        new._bits = self._bits & ~other._bits
+        return new
+
+    def isdisjoint(self, other: "BitSet") -> bool:
+        return (self._bits & other._bits) == 0
+
+    def copy(self) -> "BitSet":
+        new = BitSet(self.universe)
+        new._bits = self._bits
+        return new
+
+    # -- memory accounting ---------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Idealised footprint: ``ceil(universe / 8)`` bytes."""
+        return (self.universe + 7) // 8
+
+
+class BitMatrix:
+    """Symmetric boolean relation stored as a half (upper triangular) matrix.
+
+    This is the representation the paper uses for the interference graph.  The
+    matrix is grown dynamically (as in Sreedhar III / Us III where φ-copy
+    variables are added on the fly), and the growth history is what makes the
+    "Measured" footprint in Figure 7 slightly larger than the "Evaluated"
+    perfect-memory formula ``ceil(n/8) * n/2``.
+    """
+
+    __slots__ = ("_rows", "_size", "peak_bytes", "total_allocated_bytes")
+
+    def __init__(self, size: int = 0) -> None:
+        self._size = 0
+        self._rows: list = []
+        self.peak_bytes = 0
+        self.total_allocated_bytes = 0
+        if size:
+            self.grow(size)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def grow(self, new_size: int) -> None:
+        """Extend the universe to ``new_size`` indices (monotonic)."""
+        if new_size <= self._size:
+            return
+        for index in range(self._size, new_size):
+            # Row i of a half matrix stores the relation with 0..i-1 plus the
+            # diagonal, i.e. i+1 bits.
+            self._rows.append(0)
+            self.total_allocated_bytes += (index + 1 + 7) // 8
+        self._size = new_size
+        self.peak_bytes = max(self.peak_bytes, self.footprint_bytes())
+
+    def _order(self, a: int, b: int) -> tuple:
+        return (a, b) if a >= b else (b, a)
+
+    def set(self, a: int, b: int) -> None:
+        high, low = self._order(a, b)
+        if high >= self._size:
+            self.grow(high + 1)
+        self._rows[high] |= 1 << low
+
+    def clear(self, a: int, b: int) -> None:
+        high, low = self._order(a, b)
+        if high < self._size:
+            self._rows[high] &= ~(1 << low)
+
+    def test(self, a: int, b: int) -> bool:
+        high, low = self._order(a, b)
+        if high >= self._size:
+            return False
+        return bool(self._rows[high] >> low & 1)
+
+    def neighbours(self, a: int) -> Iterator[int]:
+        """Iterate over all indices related to ``a``."""
+        for other in range(self._size):
+            if other != a and self.test(a, other):
+                yield other
+
+    def footprint_bytes(self) -> int:
+        """Current idealised footprint of the half matrix."""
+        return sum((index + 1 + 7) // 8 for index in range(self._size))
+
+    @staticmethod
+    def evaluated_footprint(num_variables: int) -> int:
+        """The paper's perfect-memory estimate ``ceil(n/8) * n / 2``."""
+        return ((num_variables + 7) // 8) * num_variables // 2

@@ -1,0 +1,120 @@
+"""Insertion-ordered set.
+
+Liveness sets in the paper's baseline implementation ("Sreedhar III") are kept
+as *ordered sets*; Figure 7 compares their footprint against bit sets.  Python
+dictionaries preserve insertion order, which gives us an ordered set with O(1)
+membership for free.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet:
+    """A set that remembers insertion order.
+
+    Supports the usual set algebra needed by data-flow analyses (union,
+    difference, intersection) while iterating deterministically, which keeps
+    every analysis in this library reproducible run to run.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items: dict = {}
+        if items is not None:
+            for item in items:
+                self._items[item] = None
+
+    # -- basic protocol ----------------------------------------------------
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "OrderedSet({})".format(list(self._items))
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        del self._items[item]
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def difference_update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items.pop(item, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    # -- set algebra (non-mutating) -----------------------------------------
+    def copy(self) -> "OrderedSet":
+        new = OrderedSet()
+        new._items = dict(self._items)
+        return new
+
+    def union(self, other: Iterable[T]) -> "OrderedSet":
+        new = self.copy()
+        new.update(other)
+        return new
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet":
+        other_set = other if isinstance(other, (set, frozenset, OrderedSet)) else set(other)
+        return OrderedSet(item for item in self._items if item in other_set)
+
+    def difference(self, other: Iterable[T]) -> "OrderedSet":
+        other_set = other if isinstance(other, (set, frozenset, OrderedSet)) else set(other)
+        return OrderedSet(item for item in self._items if item not in other_set)
+
+    def isdisjoint(self, other: Iterable[T]) -> bool:
+        other_set = other if isinstance(other, (set, frozenset, OrderedSet)) else set(other)
+        return all(item not in other_set for item in self._items)
+
+    def issubset(self, other: Iterable[T]) -> bool:
+        other_set = other if isinstance(other, (set, frozenset, OrderedSet)) else set(other)
+        return all(item in other_set for item in self._items)
+
+    # -- operators ----------------------------------------------------------
+    def __or__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.union(other)
+
+    def __and__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.difference(other)
+
+    # -- memory accounting ---------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Idealised footprint of this set stored as an ordered array of words.
+
+        Used by the Figure 7 memory model: one machine word (8 bytes) per
+        element, matching the paper's "counting the size of each set".
+        """
+        return 8 * len(self._items)

@@ -1,0 +1,70 @@
+"""Union-find (disjoint set union) with path compression and union by size.
+
+Congruence classes — the sets of variables already coalesced together — are
+the central bookkeeping structure of the paper's coalescing formulation.  The
+union-find gives O(α) representative lookups; the ordered member lists needed
+by the linear interference test live in :mod:`repro.interference.congruence`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as a singleton if it is not known yet."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: T) -> T:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of ``a`` and ``b``; return the surviving root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def same(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> Dict[T, List[T]]:
+        """Map each representative to the list of its members (insertion order)."""
+        result: Dict[T, List[T]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result

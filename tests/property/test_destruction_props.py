@@ -1,0 +1,79 @@
+"""Property-based end-to-end tests: translation preserves program behaviour.
+
+The master invariant of the whole library — for any generated SSA program and
+any inputs, the observable behaviour (return value + print trace) before and
+after out-of-SSA translation is identical — is checked here over randomly
+drawn generator seeds, shapes and arguments, for several engine
+configurations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.interp import run_function
+from repro.ir.validate import validate_function
+from repro.outofssa.driver import destruct_ssa, engine_by_name
+from repro.ssa.cssa import is_conventional
+from repro.outofssa.method_i import insert_phi_copies
+
+
+ENGINES = [
+    "sreedhar_iii",
+    "us_i",
+    "us_i_linear_intercheck_livecheck",
+    "us_iii_linear_intercheck_livecheck",
+]
+
+
+def build_program(seed: int, size: int, abi: bool):
+    config = GeneratorConfig(
+        seed=seed,
+        name=f"prop{seed}",
+        size=size,
+        apply_abi=abi,
+        dup_copy_probability=0.15,
+    )
+    return generate_ssa_program(config)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=12, max_value=45),
+    abi=st.booleans(),
+    engine=st.sampled_from(ENGINES),
+    args=st.tuples(st.integers(-5, 10), st.integers(-5, 10)),
+)
+@settings(max_examples=40, deadline=None)
+def test_destruction_preserves_observable_behaviour(seed, size, abi, engine, args):
+    program = build_program(seed, size, abi)
+    expected = run_function(program.copy(), list(args)).observable()
+    translated = program.copy()
+    destruct_ssa(translated, engine_by_name(engine))
+    validate_function(translated)
+    assert not translated.has_phis()
+    assert run_function(translated, list(args)).observable() == expected
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=12, max_value=40),
+)
+@settings(max_examples=30, deadline=None)
+def test_method_i_always_yields_conventional_ssa(seed, size):
+    """Lemma 1: after φ-isolation the program is in CSSA."""
+    program = build_program(seed, size, abi=False)
+    insert_phi_copies(program)
+    assert is_conventional(program)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=12, max_value=40),
+    args=st.tuples(st.integers(-3, 8), st.integers(-3, 8)),
+)
+@settings(max_examples=30, deadline=None)
+def test_copy_insertion_alone_preserves_behaviour(seed, size, args):
+    program = build_program(seed, size, abi=False)
+    expected = run_function(program.copy(), list(args)).observable()
+    insert_phi_copies(program)
+    assert run_function(program, list(args)).observable() == expected

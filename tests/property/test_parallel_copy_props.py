@@ -1,0 +1,119 @@
+"""Property-based tests for parallel-copy sequentialization (Algorithm 1)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.instructions import Constant, Variable
+from repro.outofssa.parallel_copy import sequentialize_parallel_copy
+
+
+NAMES = [f"v{i}" for i in range(8)]
+
+
+@st.composite
+def parallel_copies(draw):
+    """Random parallel copies: distinct destinations, arbitrary var/const sources."""
+    destinations = draw(
+        st.lists(st.sampled_from(NAMES), unique=True, min_size=0, max_size=len(NAMES))
+    )
+    pairs = []
+    for dst in destinations:
+        if draw(st.booleans()):
+            src = Variable(draw(st.sampled_from(NAMES)))
+        else:
+            src = Constant(draw(st.integers(min_value=-10, max_value=10)))
+        pairs.append((Variable(dst), src))
+    return pairs
+
+
+def fresh_factory():
+    counter = itertools.count()
+    return lambda: Variable(f"fresh{next(counter)}")
+
+
+def parallel_semantics(pairs, env):
+    values = {
+        dst: (src.value if isinstance(src, Constant) else env[src]) for dst, src in pairs
+    }
+    out = dict(env)
+    out.update(values)
+    return out
+
+
+def sequential_semantics(copies, env):
+    out = dict(env)
+    for copy in copies:
+        out[copy.dst] = copy.src.value if isinstance(copy.src, Constant) else out[copy.src]
+    return out
+
+
+@given(parallel_copies())
+@settings(max_examples=300, deadline=None)
+def test_sequentialization_preserves_parallel_semantics(pairs):
+    env = {Variable(name): index + 100 for index, name in enumerate(NAMES)}
+    copies = sequentialize_parallel_copy(pairs, fresh_factory())
+    expected = parallel_semantics(pairs, env)
+    actual = sequential_semantics(copies, env)
+    for dst, _ in pairs:
+        assert actual[dst] == expected[dst]
+    for name in NAMES:
+        var = Variable(name)
+        if var not in {dst for dst, _ in pairs}:
+            assert actual[var] == env[var]
+
+
+@given(parallel_copies())
+@settings(max_examples=300, deadline=None)
+def test_copy_count_is_minimal(pairs):
+    """#copies = #non-trivial components + #cycles without duplication."""
+    effective = [(dst, src) for dst, src in pairs if dst != src]
+    copies = sequentialize_parallel_copy(pairs, fresh_factory())
+
+    # Count cyclic permutation components with no extra outgoing tree edge
+    # ("no duplication of variable"): these are exactly the components that
+    # need one extra copy through a temporary.
+    source_of = {dst: src for dst, src in effective}
+    destinations = set(source_of)
+    sources = [src for src in source_of.values() if isinstance(src, Variable)]
+    cycles_needing_temp = 0
+    visited = set()
+    for start in destinations:
+        if start in visited:
+            continue
+        # Follow the unique-source chain while it stays within destinations.
+        chain = []
+        current = start
+        while (
+            isinstance(current, Variable)
+            and current in source_of
+            and current not in chain
+        ):
+            chain.append(current)
+            current = source_of[current]
+        if isinstance(current, Variable) and current in chain:
+            cycle = chain[chain.index(current):]
+            if any(var in visited for var in cycle):
+                continue
+            visited.update(cycle)
+            # A cycle needs a temp only if none of its members' values is also
+            # copied into a variable outside the cycle.
+            duplicated = any(
+                src == member and dst not in cycle
+                for member in cycle
+                for dst, src in effective
+            )
+            if not duplicated:
+                cycles_needing_temp += 1
+        visited.update(chain)
+
+    assert len(copies) == len(effective) + cycles_needing_temp
+
+
+@given(parallel_copies())
+@settings(max_examples=200, deadline=None)
+def test_each_destination_written_exactly_once(pairs):
+    copies = sequentialize_parallel_copy(pairs, fresh_factory())
+    effective_dsts = [dst for dst, src in pairs if dst != src]
+    written = [copy.dst for copy in copies if not copy.dst.name.startswith("fresh")]
+    assert sorted(var.name for var in written) == sorted(var.name for var in effective_dsts)

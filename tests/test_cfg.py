@@ -1,0 +1,237 @@
+"""Tests for CFG traversals, dominance, loops, frequencies and critical edges."""
+
+import pytest
+
+from repro.cfg.critical_edges import critical_edges, split_critical_edges
+from repro.cfg.dominance import DominatorTree, dominance_frontiers, iterated_dominance_frontier
+from repro.cfg.frequency import estimate_block_frequencies
+from repro.cfg.loops import loop_nesting_depths, natural_loops
+from repro.cfg.traversal import depth_first_order, postorder, reachable_blocks, reverse_postorder
+from repro.ir.builder import FunctionBuilder
+from repro.ir.validate import validate_function
+from tests.helpers import diamond_function, loop_function
+
+
+def nested_loop_function():
+    """Two nested loops plus an if inside the inner loop."""
+    fb = FunctionBuilder("nested", params=("n",))
+    entry, oh, ob, ih, ib, then, join, iex, oex = fb.blocks(
+        "entry", "outer_header", "outer_body", "inner_header", "inner_body",
+        "then", "join", "inner_exit", "outer_exit",
+    )
+    with fb.at(entry):
+        i0 = fb.const(0, name="i0")
+        fb.jump(oh)
+    with fb.at(oh):
+        i1 = fb.phi("i1", entry=i0, inner_exit="i2")
+        c1 = fb.op("cmp_lt", i1, "n", name="c1")
+        fb.branch(c1, ob, oex)
+    with fb.at(ob):
+        j0 = fb.const(0, name="j0")
+        fb.jump(ih)
+    with fb.at(ih):
+        j1 = fb.phi("j1", outer_body=j0, join="j2")
+        c2 = fb.op("cmp_lt", j1, 3, name="c2")
+        fb.branch(c2, ib, iex)
+    with fb.at(ib):
+        c3 = fb.op("cmp_eq", j1, 1, name="c3")
+        fb.branch(c3, then, join)
+    with fb.at(then):
+        fb.print(j1)
+        fb.jump(join)
+    with fb.at(join):
+        j2 = fb.op("add", j1, 1, name="j2")
+        fb.jump(ih)
+    with fb.at(iex):
+        i2 = fb.op("add", i1, 1, name="i2")
+        fb.jump(oh)
+    with fb.at(oex):
+        fb.ret(i1)
+    function = fb.finish()
+    validate_function(function)
+    return function
+
+
+class TestTraversal:
+    def test_dfs_starts_at_entry_and_covers_reachable(self):
+        function = nested_loop_function()
+        order = depth_first_order(function)
+        assert order[0] == "entry"
+        assert set(order) == set(function.blocks)
+
+    def test_unreachable_blocks_excluded(self):
+        function = diamond_function()
+        dead = function.add_block("dead")
+        from repro.ir.instructions import Return
+
+        dead.set_terminator(Return(None))
+        assert "dead" not in reachable_blocks(function)
+        assert "dead" not in reverse_postorder(function)
+
+    def test_reverse_postorder_is_topological_on_acyclic_part(self):
+        function = diamond_function()
+        order = reverse_postorder(function)
+        position = {label: i for i, label in enumerate(order)}
+        assert position["entry"] < position["left"]
+        assert position["entry"] < position["right"]
+        assert position["left"] < position["join"]
+        assert position["right"] < position["join"]
+
+    def test_postorder_reverse_relationship(self):
+        function = nested_loop_function()
+        assert list(reversed(postorder(function))) == reverse_postorder(function)
+
+
+def brute_force_dominators(function, target):
+    """Blocks that appear on every entry->target path (exponential reference)."""
+    entry = function.entry_label
+    all_blocks = set(function.blocks)
+    dominators = set(all_blocks)
+
+    def paths_avoiding(avoid):
+        seen = set()
+        stack = [entry]
+        while stack:
+            label = stack.pop()
+            if label == avoid or label in seen:
+                continue
+            seen.add(label)
+            stack.extend(function.successors(label))
+        return seen
+
+    result = set()
+    for candidate in all_blocks:
+        if candidate == target:
+            result.add(candidate)
+            continue
+        if target not in paths_avoiding(candidate):
+            result.add(candidate)
+    return result
+
+
+class TestDominance:
+    def test_idoms_on_diamond(self):
+        function = diamond_function()
+        domtree = DominatorTree(function)
+        assert domtree.idom["left"] == "entry"
+        assert domtree.idom["right"] == "entry"
+        assert domtree.idom["join"] == "entry"
+        assert domtree.idom["entry"] is None
+
+    def test_dominates_matches_brute_force(self):
+        function = nested_loop_function()
+        domtree = DominatorTree(function)
+        for target in function.blocks:
+            expected = brute_force_dominators(function, target)
+            actual = {label for label in function.blocks if domtree.dominates(label, target)}
+            assert actual == expected, f"dominators of {target}"
+
+    def test_dominators_of_chain(self):
+        function = nested_loop_function()
+        domtree = DominatorTree(function)
+        chain = domtree.dominators_of("join")
+        assert chain[0] == "join" and chain[-1] == "entry"
+        assert "inner_header" in chain and "outer_header" in chain
+
+    def test_preorder_ancestor_property(self):
+        function = nested_loop_function()
+        domtree = DominatorTree(function)
+        for a in function.blocks:
+            for b in function.blocks:
+                expected = domtree.dominates(a, b)
+                by_numbers = (
+                    domtree._pre[a] <= domtree._pre[b] and domtree._post[b] <= domtree._post[a]
+                )
+                assert expected == by_numbers
+
+    def test_back_edges(self):
+        function = loop_function()
+        domtree = DominatorTree(function)
+        assert domtree.is_back_edge("body", "header")
+        assert not domtree.is_back_edge("entry", "header")
+
+    def test_dominance_frontiers_diamond(self):
+        function = diamond_function()
+        frontiers = dominance_frontiers(function)
+        assert frontiers["left"] == {"join"}
+        assert frontiers["right"] == {"join"}
+        assert frontiers["entry"] == set()
+
+    def test_dominance_frontiers_loop(self):
+        function = loop_function()
+        frontiers = dominance_frontiers(function)
+        assert frontiers["body"] == {"header"}
+        assert frontiers["header"] == {"header"}
+
+    def test_iterated_dominance_frontier(self):
+        function = nested_loop_function()
+        result = iterated_dominance_frontier(function, ["join", "then"])
+        assert "inner_header" in result
+        assert "outer_header" in result
+
+
+class TestLoops:
+    def test_natural_loops_and_nesting(self):
+        function = nested_loop_function()
+        loops = natural_loops(function)
+        headers = {loop.header for loop in loops}
+        assert headers == {"outer_header", "inner_header"}
+        by_header = {loop.header: loop for loop in loops}
+        assert by_header["inner_header"].depth == 2
+        assert by_header["outer_header"].depth == 1
+        assert by_header["inner_header"].parent is by_header["outer_header"]
+        assert "inner_body" in by_header["inner_header"].blocks
+        assert "inner_body" in by_header["outer_header"].blocks
+
+    def test_nesting_depths(self):
+        function = nested_loop_function()
+        depths = loop_nesting_depths(function)
+        assert depths["entry"] == 0
+        assert depths["outer_body"] == 1
+        assert depths["join"] == 2
+
+    def test_no_loops(self):
+        assert natural_loops(diamond_function()) == []
+
+
+class TestFrequencies:
+    def test_inner_blocks_weigh_more(self):
+        function = nested_loop_function()
+        freqs = estimate_block_frequencies(function)
+        assert freqs["join"] > freqs["outer_body"] > freqs["entry"]
+
+    def test_branch_splits_probability(self):
+        function = diamond_function()
+        freqs = estimate_block_frequencies(function)
+        assert freqs["left"] == pytest.approx(freqs["right"])
+        assert freqs["left"] < freqs["entry"]
+        assert freqs["join"] == pytest.approx(freqs["entry"])
+
+
+class TestCriticalEdges:
+    def test_detection(self):
+        function = loop_function()
+        edges = critical_edges(function)
+        assert ("header", "exit") not in edges  # exit has a single predecessor
+        # The back edge header->body is not critical either (body has 1 pred);
+        # build a function with a genuine critical edge instead.
+        fb = FunctionBuilder("crit", params=("c",))
+        a, b, c = fb.blocks("a", "b", "c")
+        with fb.at(a):
+            fb.branch("c", b, c)
+        with fb.at(b):
+            fb.jump(c)
+        with fb.at(c):
+            fb.ret()
+        function = fb.finish()
+        assert critical_edges(function) == [("a", "c")]
+
+    def test_splitting_removes_critical_edges(self):
+        from repro.gallery import figure4_lost_copy_problem
+
+        function = figure4_lost_copy_problem()
+        assert critical_edges(function)
+        inserted = split_critical_edges(function)
+        assert inserted
+        validate_function(function)
+        assert critical_edges(function) == []

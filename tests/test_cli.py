@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir import format_function
+from repro.gallery import figure4_lost_copy_problem
+
+
+@pytest.fixture()
+def lost_copy_file(tmp_path):
+    path = tmp_path / "lost_copy.ir"
+    path.write_text(format_function(figure4_lost_copy_problem()))
+    return str(path)
+
+
+@pytest.fixture()
+def non_ssa_file(tmp_path):
+    path = tmp_path / "source.ir"
+    path.write_text(
+        "function accumulate(n) {\n"
+        "  entry:\n"
+        "    s = const 0\n"
+        "    i = const 0\n"
+        "    jump header\n"
+        "  header:\n"
+        "    c = cmp_lt i, n\n"
+        "    br c, body, done\n"
+        "  body:\n"
+        "    s = add s, i\n"
+        "    t = copy s\n"
+        "    i = add i, 1\n"
+        "    jump header\n"
+        "  done:\n"
+        "    print t\n"
+        "    ret s\n"
+        "}\n"
+    )
+    return str(path)
+
+
+class TestTranslate:
+    def test_translate_ssa_file(self, lost_copy_file, capsys):
+        assert main(["translate", lost_copy_file, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "phi" not in captured.out
+        assert "copies remaining" in captured.err
+
+    def test_translate_with_variant(self, lost_copy_file, capsys):
+        assert main(["translate", lost_copy_file, "--variant", "intersect"]) == 0
+        assert "phi" not in capsys.readouterr().out
+
+    def test_translate_non_ssa_with_pipeline(self, non_ssa_file, capsys):
+        assert main([
+            "translate", non_ssa_file, "--construct-ssa", "--optimize", "--abi", "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "phi" not in captured.out
+        assert "engine" in captured.err
+
+    def test_unknown_engine_fails(self, lost_copy_file):
+        with pytest.raises(KeyError):
+            main(["translate", lost_copy_file, "--engine", "bogus"])
+
+
+class TestRunAndBenchAndList:
+    def test_run(self, lost_copy_file, capsys):
+        assert main(["run", lost_copy_file, "--args", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "return: 4" in captured.out
+        assert "trace : 4" in captured.out
+
+    def test_run_without_args(self, tmp_path, capsys):
+        path = tmp_path / "noargs.ir"
+        path.write_text("function f() {\n  entry:\n    print 7\n    ret 7\n}\n")
+        assert main(["run", str(path)]) == 0
+        assert "return: 7" in capsys.readouterr().out
+
+    def test_bench_figure5(self, capsys):
+        assert main(["bench", "--figure", "5", "--scale", "0.2", "--benchmarks", "181.mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "Intersect" in out and "sum" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "us_i_linear_intercheck_livecheck" in out
+        assert "sharing" in out
+        assert "164.gzip" in out

@@ -1,0 +1,165 @@
+"""Tests for congruence classes and the linear class-vs-class interference check."""
+
+import pytest
+
+from repro.interference.congruence import CongruenceClasses
+from repro.interference.definitions import InterferenceKind, make_interference_test
+from repro.ir.instructions import Variable
+from repro.liveness.dataflow import LivenessSets
+from repro.liveness.intersection import IntersectionOracle
+from repro.outofssa.method_i import insert_phi_copies
+from repro.gallery import figure3_swap_problem, figure4_lost_copy_problem
+from tests.helpers import generated_programs, straight_line_copies
+
+
+def v(name: str) -> Variable:
+    return Variable(name)
+
+
+def build_classes(function, kind=InterferenceKind.VALUE, linear=True):
+    oracle = IntersectionOracle(function, LivenessSets(function))
+    test = make_interference_test(function, oracle, kind)
+    return CongruenceClasses(oracle, test, use_linear_check=linear)
+
+
+class TestBasicClassManagement:
+    def test_singletons_and_same_class(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        assert classes.class_of(v("a")) is classes.class_of(v("a"))
+        assert not classes.same_class(v("a"), v("b"))
+        assert classes.representative(v("a")) == v("a")
+
+    def test_make_class_sorts_by_dominance(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        made = classes.make_class([v("c"), v("a"), v("b")])
+        assert made.members == [v("a"), v("b"), v("c")]
+        assert classes.same_class(v("a"), v("c"))
+
+    def test_merge_keeps_sorted_order(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        left = classes.make_class([v("a"), v("c")])
+        right = classes.make_class([v("b")])
+        merged = classes.merge(left, right)
+        assert merged.members == [v("a"), v("b"), v("c")]
+        assert classes.class_of(v("b")) is merged
+
+    def test_register_labels_conflict(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        left = classes.make_class([v("a")], register="R0")
+        right = classes.make_class([v("b")], register="R1")
+        interferes, _ = classes.interfere(left, right)
+        assert interferes
+        with pytest.raises(ValueError):
+            classes.merge(left, right)
+
+    def test_merge_preserves_register_label(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        left = classes.make_class([v("a")], register="R0")
+        right = classes.make_class([v("b")])
+        merged = classes.merge(left, right)
+        assert merged.register == "R0"
+
+
+class TestInterferenceChecks:
+    def test_try_coalesce_value_example(self):
+        """On the b = a; c = a example the value rule coalesces everything."""
+        function = straight_line_copies()
+        classes = build_classes(function, InterferenceKind.VALUE)
+        assert classes.try_coalesce(v("b"), v("a"))
+        assert classes.try_coalesce(v("c"), v("a"))
+        assert classes.same_class(v("b"), v("c"))
+
+    def test_try_coalesce_intersect_refuses(self):
+        function = straight_line_copies()
+        classes = build_classes(function, InterferenceKind.INTERSECT)
+        assert not classes.try_coalesce(v("b"), v("a"))
+
+    def test_skip_copy_pair_rule(self):
+        """Sreedhar's rule exempts the copy's own pair from the check."""
+        function = straight_line_copies()
+        classes = build_classes(function, InterferenceKind.INTERSECT)
+        assert classes.try_coalesce(v("b"), v("a"), skip_copy_pair=True)
+        # A second coalescing now hits the (c, b) pair, which is not exempted.
+        assert not classes.try_coalesce(v("c"), v("a"), skip_copy_pair=True)
+
+    def test_lost_copy_phi_node_interferences(self):
+        """Figure 4: the φ-node interferes with x2 (the copy that must stay),
+        but not with x1 or x3 (whose copies can be coalesced)."""
+        function = figure4_lost_copy_problem()
+        insertion = insert_phi_copies(function)
+        classes = build_classes(function, InterferenceKind.VALUE)
+        phi_node = classes.make_class(insertion.phi_nodes[0])
+
+        x2_class = classes.class_of(v("x2"))
+        interferes, _ = classes.interfere(phi_node, x2_class)
+        assert interferes
+
+        for name in ("x1", "x3"):
+            other = classes.class_of(v(name))
+            interferes, _ = classes.interfere(phi_node, other)
+            assert not interferes, name
+
+    @pytest.mark.parametrize("kind", [InterferenceKind.INTERSECT, InterferenceKind.VALUE])
+    def test_linear_equals_quadratic_on_phi_webs(self, kind):
+        """The linear sweep must agree with the all-pairs reference."""
+        for maker in (figure3_swap_problem, figure4_lost_copy_problem):
+            function = maker()
+            insertion = insert_phi_copies(function)
+            linear = build_classes(function, kind, linear=True)
+            quadratic = build_classes(function, kind, linear=False)
+            phi_linear = [linear.make_class(members) for members in insertion.phi_nodes]
+            phi_quadratic = [quadratic.make_class(members) for members in insertion.phi_nodes]
+            candidates = [var for var in function.variables()]
+            for index, (lin_cls, quad_cls) in enumerate(zip(phi_linear, phi_quadratic)):
+                for var in candidates:
+                    if var in lin_cls.members:
+                        continue
+                    lin_answer, _ = linear.interfere(lin_cls, linear.class_of(var))
+                    quad_answer = quadratic.interfere_quadratic(quad_cls, quadratic.class_of(var))
+                    assert lin_answer == quad_answer, (maker.__name__, index, var)
+
+    @pytest.mark.parametrize("kind", [InterferenceKind.INTERSECT, InterferenceKind.VALUE])
+    def test_linear_equals_quadratic_after_greedy_merging(self, kind):
+        """Grow classes by coalescing copies, comparing both checkers at every step."""
+        from repro.coalescing.engine import collect_affinities
+
+        for function in generated_programs(count=3, size=30):
+            function = function.copy()
+            insertion = insert_phi_copies(function)
+            linear = build_classes(function, kind, linear=True)
+            quadratic = build_classes(function, kind, linear=False)
+            for members in insertion.phi_nodes:
+                linear.make_class(members)
+                quadratic.make_class(members)
+            affinities = collect_affinities(function, insertion)
+            for affinity in affinities:
+                lin_left = linear.class_of(affinity.dst)
+                lin_right = linear.class_of(affinity.src)
+                quad_left = quadratic.class_of(affinity.dst)
+                quad_right = quadratic.class_of(affinity.src)
+                if lin_left is lin_right:
+                    continue
+                lin_answer, equal_anc_out = linear.interfere(lin_left, lin_right)
+                quad_answer = quadratic.interfere_quadratic(quad_left, quad_right)
+                assert lin_answer == quad_answer, (function.name, str(affinity.dst), str(affinity.src))
+                if not lin_answer:
+                    linear.merge(lin_left, lin_right, equal_anc_out)
+                    quadratic.merge(quad_left, quad_right)
+
+    def test_pair_query_counter_increases(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        classes.try_coalesce(v("b"), v("a"))
+        assert classes.pair_queries > 0
+
+    def test_classes_listing(self):
+        function = straight_line_copies()
+        classes = build_classes(function)
+        classes.make_class([v("a"), v("b")])
+        classes.class_of(v("c"))
+        assert len(classes.classes()) == 2

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, argv=()):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "lost_copy_and_swap.py", "paper_figures.py", "jit_pipeline.py"],
+)
+def test_basic_examples_run(script, capsys):
+    run_example(script)
+    output = capsys.readouterr().out
+    assert "behaviour preserved" in output or "correct" in output
+
+
+def test_coalescing_quality_example(capsys):
+    run_example("coalescing_quality.py", ["--scale", "0.2", "--benchmarks", "181.mcf"])
+    output = capsys.readouterr().out
+    assert "Intersect" in output and "sum" in output
+
+
+def test_engine_comparison_example(capsys):
+    run_example("engine_comparison.py", ["--scale", "0.2", "--benchmarks", "181.mcf,164.gzip"])
+    output = capsys.readouterr().out
+    assert "Figure 6" in output and "Figure 7" in output and "speed-up" in output

@@ -1,0 +1,122 @@
+"""Tests that the gallery programs reproduce the paper's Figures 1-4 claims."""
+
+import pytest
+
+from repro.bench.metrics import copy_counts
+from repro.interp import run_function
+from repro.ir.instructions import Variable
+from repro.ir.validate import validate_ssa
+from repro.outofssa.driver import DEFAULT_ENGINE, destruct_ssa
+from repro.outofssa.method_i import IsolationError, insert_phi_copies
+from repro.outofssa.naive import naive_destruction
+from repro.ssa.cssa import conventionality_violations, is_conventional
+from repro.gallery import (
+    figure1_branch_use,
+    figure2_branch_with_decrement,
+    figure3_swap_problem,
+    figure4_lost_copy_problem,
+)
+
+
+class TestFigure1:
+    """Live-out sets are not enough: the copy lands before a branch using u."""
+
+    def test_program_is_valid_non_cssa(self):
+        function = figure1_branch_use()
+        validate_ssa(function)
+        assert not is_conventional(function)
+
+    def test_translation_keeps_the_branch_correct(self):
+        for c in (0, 1, 2):
+            expected = run_function(figure1_branch_use(), [c]).observable()
+            function = figure1_branch_use()
+            destruct_ssa(function, DEFAULT_ENGINE)
+            assert run_function(function, [c]).observable() == expected
+
+    def test_exactly_one_copy_remains(self):
+        function = figure1_branch_use()
+        destruct_ssa(function, DEFAULT_ENGINE)
+        assert copy_counts(function).static_copies == 1
+
+
+class TestFigure2:
+    """Branch-with-decrement: copy insertion alone cannot isolate the φ."""
+
+    def test_isolation_error_without_edge_splitting(self):
+        with pytest.raises(IsolationError):
+            insert_phi_copies(figure2_branch_with_decrement(), on_branch_def="error")
+
+    def test_edge_splitting_fallback_is_correct(self):
+        for n in (1, 2, 5):
+            expected = run_function(figure2_branch_with_decrement(), [n]).observable()
+            function = figure2_branch_with_decrement()
+            result = destruct_ssa(function, DEFAULT_ENGINE)
+            assert result.stats.split_blocks == 1
+            assert run_function(function, [n]).observable() == expected
+
+    def test_all_copies_coalesce_after_edge_splitting(self):
+        """Once the edge is split (Figure 2(c)) every φ-copy can be coalesced:
+        the final code contains no move at all."""
+        function = figure2_branch_with_decrement()
+        result = destruct_ssa(function, DEFAULT_ENGINE)
+        assert result.stats.remaining_copies == 0
+        assert copy_counts(function).static_copies == 0
+        # The brdec terminator still decrements a single counter variable.
+        loop_terminator = function.blocks["loop"].terminator
+        assert isinstance(loop_terminator.counter, Variable)
+
+
+class TestFigure3:
+    """The swap problem: one parallel swap, materialised with one extra copy."""
+
+    def test_not_conventional_because_of_the_phi_cycle(self):
+        function = figure3_swap_problem()
+        violations = conventionality_violations(function)
+        assert any({x.name, y.name} == {"a", "b"} for x, y in violations)
+
+    def test_naive_translation_is_wrong(self):
+        args = (3, 5, 9)
+        expected = run_function(figure3_swap_problem(), args).observable()
+        broken = naive_destruction(figure3_swap_problem())
+        assert run_function(broken, args).observable() != expected
+
+    def test_swap_costs_three_copies(self):
+        function = figure3_swap_problem()
+        result = destruct_ssa(function, DEFAULT_ENGINE)
+        assert result.stats.remaining_copies == 3
+        assert result.stats.sequentialization_temps == 1
+
+    def test_translation_is_correct_for_odd_and_even_iteration_counts(self):
+        for n in (2, 3):
+            args = (n, 7, 11)
+            expected = run_function(figure3_swap_problem(), args).observable()
+            function = figure3_swap_problem()
+            destruct_ssa(function, DEFAULT_ENGINE)
+            assert run_function(function, args).observable() == expected
+
+
+class TestFigure4:
+    """The lost-copy problem: exactly one copy must survive."""
+
+    def test_naive_translation_loses_the_copy(self):
+        expected = run_function(figure4_lost_copy_problem(), [5]).observable()
+        broken = naive_destruction(figure4_lost_copy_problem())
+        assert run_function(broken, [5]).observable() != expected
+
+    def test_one_copy_remains_and_semantics_hold(self):
+        for n in (1, 2, 8):
+            expected = run_function(figure4_lost_copy_problem(), [n]).observable()
+            function = figure4_lost_copy_problem()
+            result = destruct_ssa(function, DEFAULT_ENGINE)
+            assert result.stats.remaining_copies == 1
+            assert run_function(function, [n]).observable() == expected
+
+    def test_every_engine_agrees_on_the_copy_count(self):
+        from repro.outofssa.driver import ENGINE_CONFIGURATIONS
+
+        counts = set()
+        for config in ENGINE_CONFIGURATIONS:
+            function = figure4_lost_copy_problem()
+            result = destruct_ssa(function, config)
+            counts.add(result.stats.remaining_copies)
+        assert counts == {1}

@@ -1,0 +1,117 @@
+"""Tests for the workload generator, the synthetic suite and the metrics."""
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_program, generate_ssa_program
+from repro.bench.metrics import CopyCounts, copy_counts
+from repro.bench.suite import SUITE, build_benchmark, build_suite, spec_by_name
+from repro.interp import run_function
+from repro.ir.printer import format_function
+from repro.ir.validate import validate_function, validate_ssa
+from repro.ssa.cssa import is_conventional
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        config = GeneratorConfig(seed=42, size=30)
+        first = format_function(generate_ssa_program(config))
+        second = format_function(generate_ssa_program(config))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        one = format_function(generate_ssa_program(GeneratorConfig(seed=1, size=30)))
+        two = format_function(generate_ssa_program(GeneratorConfig(seed=2, size=30)))
+        assert one != two
+
+    def test_non_ssa_output_is_structurally_valid_and_runs(self):
+        config = GeneratorConfig(seed=7, size=30)
+        function = generate_program(config)
+        validate_function(function)
+        result = run_function(function, [1, 2])
+        assert result.steps > 0
+        assert result.trace  # epilogue always prints
+
+    def test_ssa_output_is_valid_ssa(self):
+        for seed in range(5):
+            function = generate_ssa_program(GeneratorConfig(seed=seed, size=30))
+            validate_ssa(function)
+
+    def test_ssa_programs_are_usually_not_conventional(self):
+        non_conventional = 0
+        for seed in range(6):
+            function = generate_ssa_program(GeneratorConfig(seed=seed, size=35))
+            if not is_conventional(function):
+                non_conventional += 1
+        assert non_conventional >= 4
+
+    def test_size_knob_scales_the_program(self):
+        small = generate_ssa_program(GeneratorConfig(seed=3, size=15))
+        large = generate_ssa_program(GeneratorConfig(seed=3, size=70))
+        assert len(large.blocks) > len(small.blocks)
+
+    def test_abi_knob_adds_pinned_variables(self):
+        function = generate_ssa_program(
+            GeneratorConfig(seed=11, size=40, call_probability=0.3, apply_abi=True)
+        )
+        assert function.pinned
+
+    def test_br_dec_can_be_disabled(self):
+        from repro.ir.instructions import BrDec
+
+        function = generate_ssa_program(
+            GeneratorConfig(seed=5, size=45, use_br_dec=False)
+        )
+        assert not any(isinstance(block.terminator, BrDec) for block in function)
+
+    def test_interpretation_terminates(self):
+        for seed in (0, 9, 17):
+            function = generate_ssa_program(GeneratorConfig(seed=seed, size=40))
+            for args in ([0, 0], [3, 9]):
+                result = run_function(function, args)
+                assert result.steps < 100_000
+
+
+class TestSuite:
+    def test_eleven_benchmarks_matching_the_paper(self):
+        names = [spec.name for spec in SUITE]
+        assert len(names) == 11
+        assert names[0] == "164.gzip" and names[-1] == "300.twolf"
+        assert "252.eon" not in names       # excluded in the paper as well
+
+    def test_spec_lookup(self):
+        assert spec_by_name("176.gcc").functions >= 5
+        with pytest.raises(KeyError):
+            spec_by_name("999.nothing")
+
+    def test_build_benchmark_scales(self):
+        spec = spec_by_name("181.mcf")
+        functions = build_benchmark(spec, scale=0.5)
+        assert len(functions) == max(1, round(spec.functions * 0.5))
+        for function in functions:
+            validate_ssa(function)
+
+    def test_build_suite_subset(self):
+        suite = build_suite(scale=0.25, benchmarks=["164.gzip", "181.mcf"])
+        assert set(suite) == {"164.gzip", "181.mcf"}
+        assert all(functions for functions in suite.values())
+
+
+class TestMetrics:
+    def test_copy_counts(self):
+        from repro.ir.builder import FunctionBuilder
+
+        fb = FunctionBuilder("counts", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.copy("a", "p")
+            fb.copy("b", 3)
+            fb.parallel_copy(("c", "a"), ("d", 4))
+            fb.ret("c")
+        counts = copy_counts(fb.finish())
+        assert counts.static_copies == 2        # a = p and c = a
+        assert counts.constant_moves == 2       # b = 3 and d = 4
+        assert counts.weighted_copies > 0
+
+    def test_copy_counts_addition(self):
+        total = CopyCounts(1, 2, 3.0) + CopyCounts(4, 5, 6.0)
+        assert (total.static_copies, total.constant_moves, total.weighted_copies) == (5, 7, 9.0)

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness (Figures 5-7) and the memory model."""
+
+import pytest
+
+from repro.bench.harness import (
+    headline_summary,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+from repro.bench.memory import MemoryFootprint, category_breakdown, footprint_of
+from repro.bench.reporting import format_figure5, format_figure6, format_figure7
+from repro.bench.suite import build_suite
+from repro.coalescing.variants import VARIANTS
+from repro.outofssa.driver import ENGINE_CONFIGURATIONS, destruct_ssa, engine_by_name
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return build_suite(scale=0.25, benchmarks=["164.gzip", "181.mcf"])
+
+
+class TestFigure5Harness:
+    def test_rows_structure_and_ratios(self, tiny_suite):
+        rows = run_figure5(tiny_suite)
+        assert [row.benchmark for row in rows] == ["164.gzip", "181.mcf", "sum"]
+        for row in rows:
+            assert set(row.static_copies) == {variant.name for variant in VARIANTS}
+            assert row.ratios["intersect"] == pytest.approx(1.0)
+            for ratio in row.ratios.values():
+                assert 0.0 <= ratio <= 1.0 + 1e-9
+
+    def test_more_precise_interference_removes_more_copies(self, tiny_suite):
+        sum_row = next(row for row in run_figure5(tiny_suite) if row.benchmark == "sum")
+        copies = sum_row.static_copies
+        assert copies["value"] <= copies["chaitin"] <= copies["intersect"]
+        assert copies["sreedhar_i"] <= copies["intersect"]
+        assert copies["value_is"] <= copies["value"]
+        assert copies["sharing"] <= copies["value_is"]
+        # The headline separation of Figure 5: the value-based strategies
+        # remove strictly more copies than plain intersection.
+        assert copies["value"] < copies["intersect"]
+
+    def test_report_formatting(self, tiny_suite):
+        text = format_figure5(run_figure5(tiny_suite))
+        assert "Intersect" in text and "Sharing" in text and "sum" in text
+
+
+class TestFigure6Harness:
+    def test_rows_and_ratios(self, tiny_suite):
+        rows = run_figure6(tiny_suite, engines=ENGINE_CONFIGURATIONS[:3])
+        assert rows[-1].benchmark == "sum"
+        for row in rows:
+            assert row.ratios["sreedhar_iii"] == pytest.approx(1.0)
+            assert all(seconds >= 0 for seconds in row.seconds.values())
+        text = format_figure6(rows)
+        assert "Sreedhar III" in text
+
+    def test_fast_configuration_beats_the_baseline(self, tiny_suite):
+        engines = [engine_by_name("sreedhar_iii"), engine_by_name("us_i_linear_intercheck_livecheck")]
+        rows = run_figure6(tiny_suite, engines=engines)
+        sum_row = next(row for row in rows if row.benchmark == "sum")
+        assert sum_row.seconds["us_i_linear_intercheck_livecheck"] < sum_row.seconds["sreedhar_iii"]
+
+
+class TestFigure7Harness:
+    def test_memory_rows(self, tiny_suite):
+        engines = [engine_by_name("sreedhar_iii"), engine_by_name("us_i_linear_intercheck_livecheck")]
+        rows = run_figure7(tiny_suite, engines=engines)
+        assert [row.metric for row in rows] == ["maximum", "total"]
+        for row in rows:
+            assert row.measured["sreedhar_iii"] > 0
+        total_row = rows[1]
+        # The headline claim: dropping the graph and the liveness sets shrinks
+        # the footprint by a large factor.
+        assert total_row.measured["us_i_linear_intercheck_livecheck"] * 4 < total_row.measured["sreedhar_iii"]
+        text = format_figure7(rows)
+        assert "maximum" in text and "total" in text
+
+    def test_footprint_of_single_run(self):
+        from repro.gallery import figure4_lost_copy_problem
+
+        baseline = destruct_ssa(figure4_lost_copy_problem(), engine_by_name("sreedhar_iii"))
+        fast = destruct_ssa(
+            figure4_lost_copy_problem(), engine_by_name("us_i_linear_intercheck_livecheck")
+        )
+        baseline_footprint = footprint_of(baseline)
+        fast_footprint = footprint_of(fast)
+        assert baseline_footprint.measured_total > fast_footprint.measured_total
+        assert baseline_footprint.evaluated_ordered_sets > 0
+        assert baseline_footprint.evaluated_bit_sets > 0
+        assert "liveness_sets" in category_breakdown(baseline)
+        assert "livecheck" in category_breakdown(fast)
+
+    def test_memory_footprint_addition(self):
+        total = MemoryFootprint(1, 2, 3, 4) + MemoryFootprint(10, 20, 30, 40)
+        assert (total.measured_total, total.measured_peak) == (11, 22)
+        assert (total.evaluated_ordered_sets, total.evaluated_bit_sets) == (33, 44)
+
+
+class TestHeadline:
+    def test_headline_summary_direction(self, tiny_suite):
+        summary = headline_summary(tiny_suite)
+        assert summary.speedup_vs_sreedhar > 1.0
+        assert summary.memory_reduction_vs_sreedhar > 2.0
+        assert summary.copies_ratio_vs_sreedhar <= 1.05

@@ -1,0 +1,115 @@
+"""Tests for interference definitions and the interference graph."""
+
+import pytest
+
+from repro.interference.definitions import InterferenceKind, make_interference_test
+from repro.interference.graph import InterferenceGraph
+from repro.ir.instructions import Variable
+from repro.liveness.dataflow import LivenessSets
+from repro.liveness.intersection import IntersectionOracle
+from repro.gallery import figure4_lost_copy_problem
+from tests.helpers import generated_programs, straight_line_copies
+
+
+def v(name: str) -> Variable:
+    return Variable(name)
+
+
+def make_tests(function):
+    oracle = IntersectionOracle(function, LivenessSets(function))
+    return {
+        kind: make_interference_test(function, oracle, kind)
+        for kind in InterferenceKind
+    }
+
+
+class TestInterferenceDefinitions:
+    def test_paper_example_b_and_c_copies_of_a(self):
+        """The §III-A example: b = a; c = a; with a, b, c live simultaneously."""
+        function = straight_line_copies()
+        tests = make_tests(function)
+
+        # All live ranges intersect pairwise.
+        assert tests[InterferenceKind.INTERSECT].interferes(v("a"), v("b"))
+        assert tests[InterferenceKind.INTERSECT].interferes(v("a"), v("c"))
+        assert tests[InterferenceKind.INTERSECT].interferes(v("b"), v("c"))
+
+        # Chaitin exempts the copies a->b and a->c, but not the pair (b, c).
+        chaitin = tests[InterferenceKind.CHAITIN]
+        assert not chaitin.interferes(v("a"), v("b"))
+        assert not chaitin.interferes(v("a"), v("c"))
+        assert chaitin.interferes(v("b"), v("c"))
+
+        # Value-based interference: all three carry the value of a.
+        value = tests[InterferenceKind.VALUE]
+        assert not value.interferes(v("a"), v("b"))
+        assert not value.interferes(v("b"), v("c"))
+
+    def test_lost_copy_phi_result_interferes_with_incremented_value(self):
+        function = figure4_lost_copy_problem()
+        tests = make_tests(function)
+        for kind in InterferenceKind:
+            assert tests[kind].interferes(v("x2"), v("x3")), kind
+
+    def test_self_interference_is_false(self):
+        function = straight_line_copies()
+        tests = make_tests(function)
+        for kind in InterferenceKind:
+            assert not tests[kind].interferes(v("a"), v("a"))
+
+    def test_value_requires_value_table(self):
+        from repro.interference.definitions import InterferenceTest
+
+        function = straight_line_copies()
+        oracle = IntersectionOracle(function, LivenessSets(function))
+        with pytest.raises(ValueError):
+            InterferenceTest(function, oracle, InterferenceKind.VALUE, values=None)
+
+
+class TestInterferenceGraph:
+    def test_edges_and_neighbours(self):
+        graph = InterferenceGraph([v("a"), v("b"), v("c")])
+        graph.add_edge(v("a"), v("b"))
+        assert graph.interferes(v("a"), v("b"))
+        assert graph.interferes(v("b"), v("a"))
+        assert not graph.interferes(v("a"), v("c"))
+        assert graph.neighbours(v("a")) == [v("b")]
+        assert graph.edge_count() == 1
+        assert len(graph) == 3
+
+    def test_unknown_variables(self):
+        graph = InterferenceGraph()
+        assert not graph.interferes(v("x"), v("y"))
+        graph.add_edge(v("x"), v("y"))          # implicitly added
+        assert v("x") in graph and graph.interferes(v("y"), v("x"))
+
+    def test_self_edge_ignored(self):
+        graph = InterferenceGraph([v("a")])
+        graph.add_edge(v("a"), v("a"))
+        assert not graph.interferes(v("a"), v("a"))
+        assert graph.edge_count() == 0
+
+    def test_footprint_formula(self):
+        assert InterferenceGraph.evaluated_footprint(80) == (80 + 7) // 8 * 80 // 2
+
+    @pytest.mark.parametrize("kind", list(InterferenceKind))
+    def test_scan_build_matches_all_pairs_build(self, kind):
+        for function in generated_programs(count=3, size=28):
+            oracle = IntersectionOracle(function, LivenessSets(function))
+            test = make_interference_test(function, oracle, kind)
+            universe = function.variables()
+            scan = InterferenceGraph.build(function, test, universe)
+            reference = InterferenceGraph.build_all_pairs(function, test, universe)
+            for i, a in enumerate(universe):
+                for b in universe[i + 1:]:
+                    assert scan.interferes(a, b) == reference.interferes(a, b), (
+                        kind, function.name, str(a), str(b)
+                    )
+
+    def test_build_on_paper_example(self):
+        function = straight_line_copies()
+        oracle = IntersectionOracle(function, LivenessSets(function))
+        test = make_interference_test(function, oracle, InterferenceKind.VALUE)
+        graph = InterferenceGraph.build(function, test, [v("a"), v("b"), v("c")])
+        assert not graph.interferes(v("a"), v("b"))
+        assert not graph.interferes(v("b"), v("c"))

@@ -1,0 +1,174 @@
+"""Tests for the IR interpreter."""
+
+import pytest
+
+from repro.interp.interpreter import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    UninitializedRead,
+    run_function,
+)
+from repro.ir.builder import FunctionBuilder
+from tests.helpers import diamond_function, loop_function
+from repro.gallery import figure2_branch_with_decrement, figure3_swap_problem
+
+
+class TestBasics:
+    def test_diamond_both_paths(self):
+        function = diamond_function()
+        assert run_function(function, [1]).return_value == 1
+        assert run_function(function, [0]).return_value == 2
+        assert run_function(function, [1]).trace == (1,)
+
+    def test_loop_sum(self):
+        function = loop_function()
+        result = run_function(function, [5])
+        assert result.return_value == 0 + 1 + 2 + 3 + 4
+        assert result.trace == (10,)
+        assert result.block_path[0] == "entry"
+        assert result.block_path.count("body") == 5
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            run_function(loop_function(), [])
+
+    def test_observable_comparison_ignores_steps(self):
+        first = run_function(loop_function(), [3])
+        second = run_function(loop_function(), [3])
+        second.steps = 999
+        assert first == second
+
+
+class TestOpcodes:
+    @pytest.mark.parametrize(
+        "opcode,args,expected",
+        [
+            ("add", (2, 3), 5),
+            ("sub", (2, 3), -1),
+            ("mul", (4, 3), 12),
+            ("div", (7, 2), 3),
+            ("div", (7, 0), 0),
+            ("mod", (7, 3), 1),
+            ("mod", (7, 0), 0),
+            ("neg", (5,), -5),
+            ("not", (0,), 1),
+            ("and", (6, 3), 2),
+            ("or", (6, 3), 7),
+            ("xor", (6, 3), 5),
+            ("shl", (1, 3), 8),
+            ("shr", (8, 2), 2),
+            ("min", (4, 9), 4),
+            ("max", (4, 9), 9),
+            ("abs", (-4,), 4),
+            ("select", (1, 10, 20), 10),
+            ("select", (0, 10, 20), 20),
+            ("cmp_lt", (1, 2), 1),
+            ("cmp_le", (2, 2), 1),
+            ("cmp_gt", (1, 2), 0),
+            ("cmp_ge", (2, 2), 1),
+            ("cmp_eq", (2, 3), 0),
+            ("cmp_ne", (2, 3), 1),
+        ],
+    )
+    def test_opcode(self, opcode, args, expected):
+        fb = FunctionBuilder("op")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            result = fb.op(opcode, *args, name="result")
+            fb.ret(result)
+        assert run_function(fb.finish(), []).return_value == expected
+
+    def test_unknown_opcode(self):
+        fb = FunctionBuilder("bad")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            result = fb.op("frobnicate", 1, name="result")
+            fb.ret(result)
+        with pytest.raises(ValueError, match="unknown opcode"):
+            run_function(fb.finish(), [])
+
+    def test_arithmetic_wraps_to_64_bits(self):
+        fb = FunctionBuilder("wrap")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            big = fb.const((1 << 63) - 1, name="big")
+            result = fb.op("add", big, 1, name="result")
+            fb.ret(result)
+        assert run_function(fb.finish(), []).return_value == -(1 << 63)
+
+
+class TestSemantics:
+    def test_parallel_copy_is_parallel(self):
+        fb = FunctionBuilder("swap")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            a = fb.const(1, name="a")
+            b = fb.const(2, name="b")
+            fb.parallel_copy(("a", b), ("b", a))
+            r = fb.op("sub", "a", "b", name="r")
+            fb.ret(r)
+        assert run_function(fb.finish(), []).return_value == 2 - 1
+
+    def test_phis_evaluate_in_parallel(self):
+        result = run_function(figure3_swap_problem(), [3, 5, 9])
+        # Values swap every iteration: (5,9), (9,5), (5,9).
+        assert result.trace[:6] == (5, 9, 9, 5, 5, 9)
+
+    def test_br_dec_semantics(self):
+        result = run_function(figure2_branch_with_decrement(), [4])
+        # Loop body runs 4 times: s accumulates 4+3+2+1, final u is 0.
+        assert result.return_value == 4 + 3 + 2 + 1
+        assert result.block_path.count("loop") == 4
+
+    def test_call_is_deterministic_and_pure(self):
+        fb = FunctionBuilder("calls", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            a = fb.call("ext0", "p", 3, name="a")
+            b = fb.call("ext0", "p", 3, name="b")
+            same = fb.op("cmp_eq", a, b, name="same")
+            fb.ret(same)
+        assert run_function(fb.finish(), [7]).return_value == 1
+
+    def test_uninitialized_read(self):
+        fb = FunctionBuilder("uninit")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.print("ghost")
+            fb.ret()
+        with pytest.raises(UninitializedRead):
+            run_function(fb.finish(), [])
+
+    def test_step_limit(self):
+        fb = FunctionBuilder("forever")
+        entry, loop = fb.blocks("entry", "loop")
+        with fb.at(entry):
+            fb.jump(loop)
+        with fb.at(loop):
+            fb.jump(loop)
+        with pytest.raises(ExecutionLimitExceeded):
+            Interpreter(fb.finish(), max_steps=100).run([])
+
+    def test_phi_without_matching_predecessor(self):
+        function = diamond_function()
+        phi = function.blocks["join"].phis[0]
+        phi.args = {"left": phi.args["left"]}
+        with pytest.raises(ValueError, match="no argument"):
+            run_function(function, [0])
+
+    def test_missing_terminator_detected(self):
+        fb = FunctionBuilder("broken")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.const(1, name="x")
+        with pytest.raises(ValueError, match="terminator"):
+            run_function(fb.finish(), [])
+
+    def test_return_without_value(self):
+        fb = FunctionBuilder("void")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.print(1)
+            fb.ret()
+        result = run_function(fb.finish(), [])
+        assert result.return_value is None and result.trace == (1,)

@@ -1,0 +1,173 @@
+"""Unit tests for the IR instruction set (defs / uses / rewriting)."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Branch,
+    BrDec,
+    Call,
+    Constant,
+    Copy,
+    Jump,
+    Op,
+    ParallelCopy,
+    Phi,
+    Print,
+    Return,
+    Variable,
+)
+
+
+def var(name: str) -> Variable:
+    return Variable(name)
+
+
+class TestOperands:
+    def test_variable_equality_by_name(self):
+        assert var("x") == var("x")
+        assert var("x") != var("y")
+        assert hash(var("x")) == hash(var("x"))
+
+    def test_variable_requires_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_constant_equality(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+        assert str(Constant(-2)) == "-2"
+
+    def test_int_promoted_to_constant(self):
+        instruction = Op(var("x"), "add", [var("a"), 5])
+        assert instruction.args[1] == Constant(5)
+
+
+class TestOp:
+    def test_defs_uses_operands(self):
+        instruction = Op(var("x"), "add", [var("a"), Constant(1)])
+        assert instruction.defs() == [var("x")]
+        assert instruction.uses() == [var("a")]
+        assert instruction.operands() == [var("a"), Constant(1)]
+
+    def test_replace_uses_and_defs(self):
+        instruction = Op(var("x"), "add", [var("a"), var("b")])
+        instruction.replace_uses({var("a"): var("z"), var("b"): Constant(7)})
+        instruction.replace_defs({var("x"): var("y")})
+        assert instruction.args == [var("z"), Constant(7)]
+        assert instruction.dst == var("y")
+
+
+class TestCopy:
+    def test_defs_uses(self):
+        copy = Copy(var("d"), var("s"))
+        assert copy.defs() == [var("d")]
+        assert copy.uses() == [var("s")]
+        const_copy = Copy(var("d"), 3)
+        assert const_copy.uses() == []
+
+    def test_replace(self):
+        copy = Copy(var("d"), var("s"))
+        copy.replace_uses({var("s"): var("t")})
+        copy.replace_defs({var("d"): var("e")})
+        assert copy.src == var("t") and copy.dst == var("e")
+
+
+class TestParallelCopy:
+    def test_add_and_duplicate_destination_rejected(self):
+        pcopy = ParallelCopy()
+        pcopy.add(var("a"), var("x"))
+        with pytest.raises(ValueError):
+            pcopy.add(var("a"), var("y"))
+        assert len(pcopy) == 1
+
+    def test_defs_uses_remove(self):
+        pcopy = ParallelCopy([(var("a"), var("x")), (var("b"), 4)])
+        assert pcopy.defs() == [var("a"), var("b")]
+        assert pcopy.uses() == [var("x")]
+        pcopy.remove(var("a"))
+        assert pcopy.defs() == [var("b")]
+        pcopy.remove(var("b"))
+        assert pcopy.is_empty()
+
+    def test_replace(self):
+        pcopy = ParallelCopy([(var("a"), var("x"))])
+        pcopy.replace_uses({var("x"): var("y")})
+        pcopy.replace_defs({var("a"): var("b")})
+        assert pcopy.pairs == [(var("b"), var("y"))]
+
+
+class TestPhi:
+    def test_args_keyed_by_predecessor(self):
+        phi = Phi(var("x"), {"left": var("a"), "right": 3})
+        assert phi.arg_for("left") == var("a")
+        assert phi.arg_for("right") == Constant(3)
+        assert set(phi.uses()) == {var("a")}
+        assert phi.defs() == [var("x")]
+
+    def test_rename_pred(self):
+        phi = Phi(var("x"), {"left": var("a")})
+        phi.rename_pred("left", "split")
+        assert "left" not in phi.args and phi.arg_for("split") == var("a")
+
+    def test_replace(self):
+        phi = Phi(var("x"), {"left": var("a")})
+        phi.replace_uses({var("a"): var("b")})
+        phi.replace_defs({var("x"): var("y")})
+        assert phi.arg_for("left") == var("b") and phi.dst == var("y")
+
+
+class TestCallPrint:
+    def test_call_defs_uses(self):
+        call = Call(var("r"), "foo", [var("a"), 2])
+        assert call.defs() == [var("r")]
+        assert call.uses() == [var("a")]
+        void = Call(None, "bar", [])
+        assert void.defs() == []
+
+    def test_call_replace(self):
+        call = Call(var("r"), "foo", [var("a")])
+        call.replace_uses({var("a"): Constant(1)})
+        call.replace_defs({var("r"): var("s")})
+        assert call.args == [Constant(1)] and call.dst == var("s")
+
+    def test_print(self):
+        instruction = Print(var("a"))
+        assert instruction.uses() == [var("a")]
+        instruction.replace_uses({var("a"): Constant(0)})
+        assert instruction.uses() == []
+
+
+class TestTerminators:
+    def test_jump(self):
+        jump = Jump("next")
+        assert jump.targets() == ["next"]
+        jump.replace_target("next", "other")
+        assert jump.targets() == ["other"]
+        assert jump.is_terminator
+
+    def test_branch_uses_condition(self):
+        branch = Branch(var("c"), "t", "f")
+        assert branch.uses() == [var("c")]
+        assert branch.targets() == ["t", "f"]
+        branch.replace_target("f", "g")
+        assert branch.targets() == ["t", "g"]
+        branch.replace_uses({var("c"): var("d")})
+        assert branch.cond == var("d")
+
+    def test_br_dec_defines_and_uses_counter(self):
+        brdec = BrDec(var("u"), "loop", "exit")
+        assert brdec.defs() == [var("u")]
+        assert brdec.uses() == [var("u")]
+        brdec.replace_defs({var("u"): var("v")})
+        assert brdec.counter == var("v")
+        with pytest.raises(TypeError):
+            brdec.replace_uses({var("v"): Constant(1)})
+        with pytest.raises(TypeError):
+            BrDec(Constant(1), "a", "b")  # type: ignore[arg-type]
+
+    def test_return(self):
+        ret = Return(var("x"))
+        assert ret.uses() == [var("x")]
+        assert Return(None).uses() == []
+        ret.replace_uses({var("x"): Constant(2)})
+        assert ret.value == Constant(2)

@@ -1,0 +1,123 @@
+"""Tests for structural and SSA validation."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Copy, Op, Variable
+from repro.ir.validate import (
+    ValidationError,
+    defined_variables,
+    used_before_defined,
+    validate_function,
+    validate_ssa,
+)
+from tests.helpers import GALLERY_PROGRAMS, diamond_function, loop_function
+
+
+class TestValidateFunction:
+    def test_accepts_well_formed(self):
+        validate_function(diamond_function())
+        validate_function(loop_function())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ValidationError, match="no blocks"):
+            validate_function(Function("empty"))
+
+    def test_missing_terminator(self):
+        function = Function("f")
+        function.add_block("entry")
+        with pytest.raises(ValidationError, match="missing terminator"):
+            validate_function(function)
+
+    def test_unknown_branch_target(self):
+        fb = FunctionBuilder("f")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.jump("nowhere")
+        with pytest.raises(ValidationError, match="unknown block"):
+            validate_function(fb.finish())
+
+    def test_phi_argument_mismatch(self):
+        function = diamond_function()
+        phi = function.blocks["join"].phis[0]
+        del phi.args["right"]
+        with pytest.raises(ValidationError, match="do not match predecessors"):
+            validate_function(function)
+
+    def test_phi_in_entry_rejected(self):
+        fb = FunctionBuilder("f")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.phi("x")
+            fb.ret()
+        with pytest.raises(ValidationError, match="no predecessors"):
+            validate_function(fb.finish())
+
+    def test_entry_with_predecessor_rejected(self):
+        fb = FunctionBuilder("f")
+        entry, other = fb.blocks("entry", "other")
+        with fb.at(entry):
+            fb.jump(other)
+        with fb.at(other):
+            fb.jump(entry)
+        with pytest.raises(ValidationError, match="entry block"):
+            validate_function(fb.finish())
+
+
+class TestValidateSSA:
+    @pytest.mark.parametrize("name,maker,_args", GALLERY_PROGRAMS)
+    def test_gallery_is_ssa(self, name, maker, _args):
+        validate_ssa(maker())
+
+    def test_double_definition_rejected(self):
+        function = diamond_function()
+        function.blocks["left"].append(Op(Variable("a"), "const", [2]))
+        with pytest.raises(ValidationError, match="definitions"):
+            validate_ssa(function)
+
+    def test_use_not_dominated_by_definition(self):
+        fb = FunctionBuilder("f", params=("c",))
+        entry, left, right, join = fb.blocks("entry", "left", "right", "join")
+        with fb.at(entry):
+            fb.branch("c", left, right)
+        with fb.at(left):
+            fb.const(1, name="x")
+            fb.jump(join)
+        with fb.at(right):
+            fb.jump(join)
+        with fb.at(join):
+            fb.print("x")  # x only defined on the left path
+            fb.ret("x")
+        with pytest.raises(ValidationError, match="not dominated"):
+            validate_ssa(fb.finish())
+
+    def test_use_without_definition(self):
+        fb = FunctionBuilder("f")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.print("ghost")
+            fb.ret()
+        with pytest.raises(ValidationError, match="never defined"):
+            validate_ssa(fb.finish())
+
+    def test_brdec_counter_exception(self):
+        from repro.gallery import figure2_branch_with_decrement
+
+        function = figure2_branch_with_decrement()
+        validate_ssa(function, allow_counter_redefinition=True)
+        with pytest.raises(ValidationError):
+            validate_ssa(function, allow_counter_redefinition=False)
+
+
+class TestHelpers:
+    def test_defined_and_undefined_variables(self):
+        fb = FunctionBuilder("f", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.copy("a", "p")
+            fb.print("ghost")
+            fb.ret("a")
+        function = fb.finish()
+        assert Variable("a") in defined_variables(function)
+        assert used_before_defined(function) == {Variable("ghost")}

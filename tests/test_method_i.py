@@ -1,0 +1,126 @@
+"""Tests for Method I copy insertion (isolation phase) and the naive control."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir.instructions import Variable
+from repro.ir.validate import validate_ssa
+from repro.outofssa.method_i import IsolationError, insert_phi_copies
+from repro.outofssa.naive import naive_destruction
+from repro.ssa.cssa import is_conventional
+from repro.gallery import (
+    figure1_branch_use,
+    figure2_branch_with_decrement,
+    figure3_swap_problem,
+    figure4_lost_copy_problem,
+)
+from tests.helpers import GALLERY_PROGRAMS, diamond_function, generated_programs
+
+
+class TestMethodI:
+    @pytest.mark.parametrize("name,maker,args", GALLERY_PROGRAMS)
+    def test_lemma1_restores_cssa_and_preserves_semantics(self, name, maker, args):
+        function = maker()
+        expected = run_function(maker(), args).observable()
+        insertion = insert_phi_copies(function)
+        validate_ssa(function)
+        assert is_conventional(function)
+        assert run_function(function, args).observable() == expected
+        assert insertion.inserted_copy_count > 0
+
+    def test_lemma1_on_generated_programs(self):
+        for function in generated_programs(count=4, size=30):
+            expected = run_function(function.copy(), [2, 3]).observable()
+            insert_phi_copies(function)
+            validate_ssa(function)
+            assert is_conventional(function)
+            assert run_function(function, [2, 3]).observable() == expected
+
+    def test_copy_counts_per_phi(self):
+        function = diamond_function()
+        insertion = insert_phi_copies(function)
+        # One φ with two arguments: one result copy + two argument copies.
+        assert insertion.inserted_copy_count == 3
+        assert len(insertion.phi_nodes) == 1
+        assert len(insertion.phi_nodes[0]) == 3
+
+    def test_result_copy_in_entry_pcopy_and_args_in_exit_pcopy(self):
+        function = diamond_function()
+        insert_phi_copies(function)
+        join = function.blocks["join"]
+        assert join.entry_pcopy is not None and len(join.entry_pcopy) == 1
+        assert function.blocks["left"].exit_pcopy is not None
+        assert function.blocks["right"].exit_pcopy is not None
+        # The φ now only mentions the primed variables.
+        phi = join.phis[0]
+        primed = set(phi.uses()) | set(phi.defs())
+        original = {Variable("a"), Variable("b"), Variable("x")}
+        assert primed.isdisjoint(original)
+
+    def test_figure1_copy_lands_before_the_branch(self):
+        """The copy for the argument flowing out of B2 must precede the branch
+        that uses u, which is exactly why B2's exit parallel copy is used."""
+        function = figure1_branch_use()
+        insert_phi_copies(function)
+        b2 = function.blocks["B2"]
+        assert b2.exit_pcopy is not None and len(b2.exit_pcopy) == 1
+        # The branch still uses the original u.
+        assert Variable("u") in b2.terminator.uses()
+
+    def test_figure2_splits_the_edge(self):
+        function = figure2_branch_with_decrement()
+        insertion = insert_phi_copies(function, on_branch_def="split")
+        assert len(insertion.split_blocks) == 1
+        split_label = insertion.split_blocks[0]
+        # The copy of the counter lives in the new block, after the decrement.
+        split_block = function.blocks[split_label]
+        assert split_block.exit_pcopy is not None
+        assert Variable("u") in split_block.exit_pcopy.uses()
+        assert run_function(function, [4]).observable() == run_function(
+            figure2_branch_with_decrement(), [4]
+        ).observable()
+
+    def test_figure2_error_mode(self):
+        function = figure2_branch_with_decrement()
+        with pytest.raises(IsolationError) as excinfo:
+            insert_phi_copies(function, on_branch_def="error")
+        assert excinfo.value.pred_label == "loop"
+
+    def test_phi_with_constant_argument(self):
+        from repro.ir.builder import FunctionBuilder
+
+        fb = FunctionBuilder("constphi", params=("c",))
+        entry, left, right, join = fb.blocks("entry", "left", "right", "join")
+        with fb.at(entry):
+            fb.branch("c", left, right)
+        with fb.at(left):
+            a = fb.const(5, name="a")
+            fb.jump(join)
+        with fb.at(right):
+            fb.jump(join)
+        with fb.at(join):
+            fb.phi("x", left=a, right=7)
+            fb.print("x")
+            fb.ret("x")
+        function = fb.finish()
+        expected = run_function(function.copy(), [0]).observable()
+        insertion = insert_phi_copies(function)
+        validate_ssa(function)
+        assert run_function(function, [0]).observable() == expected
+        # The constant argument produced a constant-source copy.
+        assert any(not isinstance(copy.src, Variable) for copy in insertion.copies)
+
+
+class TestNaiveControl:
+    def test_naive_breaks_lost_copy_and_swap(self):
+        for maker, args in ((figure4_lost_copy_problem, (6,)), (figure3_swap_problem, (5, 1, 2))):
+            expected = run_function(maker(), args).observable()
+            broken = naive_destruction(maker())
+            assert not broken.has_phis()
+            assert run_function(broken, args).observable() != expected
+
+    def test_naive_is_fine_on_conventional_code(self):
+        function = diamond_function()
+        expected = run_function(diamond_function(), [1]).observable()
+        naive = naive_destruction(function)
+        assert run_function(naive, [1]).observable() == expected

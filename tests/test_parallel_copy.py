@@ -1,0 +1,152 @@
+"""Tests for the parallel-copy sequentialization (paper Algorithm 1)."""
+
+import itertools
+
+import pytest
+
+from repro.ir.instructions import Constant, Copy, Variable
+from repro.outofssa.parallel_copy import (
+    emitted_copy_count,
+    sequentialize_instruction,
+    sequentialize_parallel_copy,
+)
+from repro.ir.instructions import ParallelCopy
+
+
+def v(name: str) -> Variable:
+    return Variable(name)
+
+
+def make_fresh_factory():
+    counter = itertools.count()
+
+    def fresh() -> Variable:
+        return Variable(f"temp{next(counter)}")
+
+    return fresh
+
+
+def simulate_parallel(pairs, env):
+    """Reference semantics: read all sources, then write all destinations."""
+    read = {dst: (src.value if isinstance(src, Constant) else env[src]) for dst, src in pairs}
+    result = dict(env)
+    result.update(read)
+    return result
+
+
+def simulate_sequential(copies, env):
+    result = dict(env)
+    for copy in copies:
+        value = copy.src.value if isinstance(copy.src, Constant) else result[copy.src]
+        result[copy.dst] = value
+    return result
+
+
+def check_equivalent(pairs, variables=None):
+    """The emitted sequence must compute exactly the parallel semantics."""
+    variables = variables or sorted({var.name for _, src in pairs if isinstance(src, Variable) for var in [src]}
+                                    | {dst.name for dst, _ in pairs})
+    env = {v(name): index + 1 for index, name in enumerate(sorted(variables))}
+    copies = sequentialize_parallel_copy(pairs, make_fresh_factory())
+    expected = simulate_parallel(pairs, env)
+    actual = simulate_sequential(copies, env)
+    for dst, _ in pairs:
+        assert actual[dst] == expected[dst], (pairs, copies)
+    # Variables that are not destinations keep their original values.
+    for name in variables:
+        if v(name) not in {dst for dst, _ in pairs}:
+            assert actual[v(name)] == env[v(name)]
+    return copies
+
+
+class TestSequentialization:
+    def test_tree_copies_need_no_extra(self):
+        copies = check_equivalent([(v("b"), v("a")), (v("c"), v("a"))])
+        assert len(copies) == 2
+        assert all(not copy.dst.name.startswith("temp") for copy in copies)
+
+    def test_swap_uses_one_temporary(self):
+        copies = check_equivalent([(v("a"), v("b")), (v("b"), v("a"))])
+        assert len(copies) == 3
+        assert sum(copy.dst.name.startswith("temp") for copy in copies) == 1
+
+    def test_three_cycle(self):
+        copies = check_equivalent([(v("a"), v("b")), (v("b"), v("c")), (v("c"), v("a"))])
+        assert len(copies) == 4
+
+    def test_paper_example_cycle_with_tree_edge(self):
+        """(a->b, b->c, c->a, c->d): the duplication into d saves the extra copy."""
+        pairs = [(v("b"), v("a")), (v("c"), v("b")), (v("a"), v("c")), (v("d"), v("c"))]
+        copies = check_equivalent(pairs)
+        assert len(copies) == 4          # no temporary needed
+        assert not any(copy.dst.name.startswith("temp") for copy in copies)
+
+    def test_self_copy_dropped(self):
+        copies = sequentialize_parallel_copy([(v("a"), v("a"))], make_fresh_factory())
+        assert copies == []
+
+    def test_constant_sources(self):
+        pairs = [(v("a"), Constant(5)), (v("b"), v("a"))]
+        copies = check_equivalent(pairs, variables=["a", "b"])
+        # b must receive a's *old* value before a is overwritten by 5.
+        assert copies[0].dst == v("b")
+        assert len(copies) == 2
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            sequentialize_parallel_copy(
+                [(v("a"), v("b")), (v("a"), v("c"))], make_fresh_factory()
+            )
+
+    def test_empty(self):
+        assert sequentialize_parallel_copy([], make_fresh_factory()) == []
+
+    def test_instruction_wrapper_and_count(self):
+        pcopy = ParallelCopy([(v("x"), v("y")), (v("y"), v("x"))])
+        copies = sequentialize_instruction(pcopy, make_fresh_factory())
+        assert len(copies) == 3
+        assert emitted_copy_count(pcopy.pairs, make_fresh_factory()) == 3
+
+    def test_two_independent_cycles(self):
+        pairs = [
+            (v("a"), v("b")), (v("b"), v("a")),
+            (v("c"), v("d")), (v("d"), v("c")),
+        ]
+        copies = check_equivalent(pairs)
+        assert len(copies) == 6
+        assert sum(copy.dst.name.startswith("temp") for copy in copies) == 2
+
+    def test_long_chain(self):
+        pairs = [(v(f"x{i}"), v(f"x{i+1}")) for i in range(6)]
+        copies = check_equivalent(pairs)
+        assert len(copies) == 6
+
+    def test_rotation_with_duplication(self):
+        """A cycle where one vertex is also duplicated: still no temporary."""
+        pairs = [(v("a"), v("b")), (v("b"), v("a")), (v("c"), v("a"))]
+        copies = check_equivalent(pairs)
+        assert len(copies) == 3
+        assert not any(copy.dst.name.startswith("temp") for copy in copies)
+
+    def test_minimality_against_brute_force_on_permutations(self):
+        """For pure permutations of up to 5 variables the copy count is
+        ``n - #fixed_points + #non_trivial_cycles`` (one temp copy per cycle)."""
+        names = ["a", "b", "c", "d", "e"]
+        for permutation in itertools.permutations(range(5)):
+            pairs = [
+                (v(names[i]), v(names[p])) for i, p in enumerate(permutation) if i != p
+            ]
+            copies = check_equivalent(pairs, variables=names)
+            moved = [i for i, p in enumerate(permutation) if i != p]
+            # count cycles among moved elements
+            seen = set()
+            cycles = 0
+            for start in moved:
+                if start in seen:
+                    continue
+                cycles += 1
+                current = start
+                while current not in seen:
+                    seen.add(current)
+                    current = permutation[current]
+            assert len(copies) == len(moved) + cycles

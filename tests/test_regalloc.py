@@ -1,0 +1,149 @@
+"""Tests for the linear-scan register allocator (the JIT back-end consumer)."""
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Variable
+from repro.outofssa.driver import DEFAULT_ENGINE, destruct_ssa
+from repro.outofssa.pinning import apply_calling_convention
+from repro.regalloc.intervals import build_live_intervals, linearize_blocks
+from repro.regalloc.linear_scan import (
+    AllocationError,
+    allocate_registers,
+    verify_allocation,
+)
+from repro.gallery import figure3_swap_problem, figure4_lost_copy_problem
+from tests.helpers import loop_function
+
+
+def v(name: str) -> Variable:
+    return Variable(name)
+
+
+class TestIntervals:
+    def test_linearization_starts_at_entry(self):
+        function = loop_function()
+        order = linearize_blocks(function)
+        assert order[0] == "entry"
+        assert set(order) == set(function.blocks)
+
+    def test_interval_endpoints_reflect_defs_and_uses(self):
+        fb = FunctionBuilder("straight", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            a = fb.op("add", "p", 1, name="a")
+            b = fb.op("mul", a, 2, name="b")
+            fb.print(b)
+            fb.ret(b)
+        intervals = {i.variable.name: i for i in build_live_intervals(fb.finish())}
+        assert intervals["p"].start == 0
+        assert intervals["a"].start < intervals["b"].start
+        assert intervals["a"].end <= intervals["b"].start + 1
+        assert intervals["b"].end > intervals["b"].start
+
+    def test_loop_carried_values_cover_the_loop(self):
+        function = loop_function()
+        intervals = {i.variable.name: i for i in build_live_intervals(function)}
+        # The loop-carried sum is live across the whole loop body.
+        body_intervals = intervals["s1"]
+        i2 = intervals["i2"]
+        assert body_intervals.overlaps(i2)
+
+    def test_pinned_flag_propagates(self):
+        function = loop_function()
+        function.pin(v("s1"), "R3")
+        intervals = {i.variable.name: i for i in build_live_intervals(function)}
+        assert intervals["s1"].pinned == "R3"
+
+    def test_overlap_predicate(self):
+        from repro.regalloc.intervals import LiveInterval
+
+        a = LiveInterval(v("a"), 0, 5)
+        b = LiveInterval(v("b"), 4, 9)
+        c = LiveInterval(v("c"), 5, 6)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestLinearScan:
+    def test_no_overlapping_intervals_share_a_register(self):
+        for maker in (loop_function, figure3_swap_problem, figure4_lost_copy_problem):
+            function = maker()
+            destruct_ssa(function, DEFAULT_ENGINE)
+            allocation = allocate_registers(function)
+            verify_allocation(allocation)
+
+    def test_allocation_covers_every_variable(self):
+        function = figure3_swap_problem()
+        destruct_ssa(function, DEFAULT_ENGINE)
+        allocation = allocate_registers(function)
+        for var in function.variables():
+            assert allocation.location_of(var) is not None
+
+    def test_spilling_under_register_pressure(self):
+        fb = FunctionBuilder("pressure", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            values = [fb.op("add", "p", i, name=f"x{i}") for i in range(6)]
+            total = values[0]
+            for value in values[1:]:
+                total = fb.op("add", total, value, name=fb.fresh("sum").name)
+            fb.ret(total)
+        function = fb.finish()
+        allocation = allocate_registers(function, registers=("R0", "R1", "R2"))
+        verify_allocation(allocation)
+        assert allocation.spill_count > 0
+        assert len(allocation.used_registers()) <= 3
+
+    def test_enough_registers_means_no_spills(self):
+        function = figure4_lost_copy_problem()
+        destruct_ssa(function, DEFAULT_ENGINE)
+        allocation = allocate_registers(function)
+        assert allocation.spill_count == 0
+
+    def test_pinned_variables_get_their_register(self):
+        function = loop_function()
+        destruct_ssa(function, DEFAULT_ENGINE)
+        target = function.variables()[1]
+        function.pin(target, "R5")
+        allocation = allocate_registers(function)
+        verify_allocation(allocation)
+        assert allocation.register_of(target) == "R5"
+
+    def test_unknown_pinned_register_rejected(self):
+        function = loop_function()
+        function.pin(v("s1"), "R99")
+        with pytest.raises(AllocationError):
+            allocate_registers(function, registers=("R0", "R1"))
+
+    def test_full_jit_pipeline_allocation(self):
+        """SSA program with calls -> ABI pinning -> out-of-SSA -> allocation."""
+        program = generate_ssa_program(
+            GeneratorConfig(seed=21, size=35, call_probability=0.15, apply_abi=True)
+        )
+        destruct_ssa(program, DEFAULT_ENGINE)
+        allocation = allocate_registers(program)
+        verify_allocation(allocation)
+        # Calling-convention pins are honoured.
+        for var, register in program.pinned.items():
+            location = allocation.location_of(var)
+            if location is not None and location.is_register:
+                assert location.name == register
+
+    def test_eviction_keeps_allocation_valid(self):
+        """A pinned interval arriving while its register is busy evicts the holder."""
+        fb = FunctionBuilder("evict", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            a = fb.op("add", "p", 1, name="a")       # will grab R0 first
+            b = fb.op("add", "p", 2, name="pinned_b")
+            r = fb.op("add", a, b, name="r")
+            fb.print(a)
+            fb.print(b)
+            fb.ret(r)
+        function = fb.finish()
+        function.pin(v("pinned_b"), "R0")
+        allocation = allocate_registers(function, registers=("R0", "R1", "R2"))
+        verify_allocation(allocation)
+        assert allocation.register_of(v("pinned_b")) == "R0"

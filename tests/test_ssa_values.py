@@ -1,0 +1,108 @@
+"""Tests for the SSA value table (paper §III-A) and the CSSA checks."""
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Variable
+from repro.ssa.cssa import conventionality_violations, is_conventional, phi_webs
+from repro.ssa.values import ValueTable
+from repro.gallery import figure2_branch_with_decrement, figure3_swap_problem, figure4_lost_copy_problem
+from tests.helpers import diamond_function, loop_function, straight_line_copies
+
+
+def v(name: str) -> Variable:
+    return Variable(name)
+
+
+class TestValueTable:
+    def test_copy_chain_shares_value(self):
+        function = straight_line_copies()
+        values = ValueTable(function)
+        assert values.same_value(v("a"), v("b"))
+        assert values.same_value(v("b"), v("c"))
+        assert values.value(v("b")) == v("a")
+
+    def test_constant_copies_share_value(self):
+        fb = FunctionBuilder("consts")
+        entry = fb.block("entry")
+        with fb.at(entry):
+            fb.copy("x", 5)
+            fb.copy("y", 5)
+            fb.copy("z", 6)
+            fb.ret("x")
+        values = ValueTable(fb.finish())
+        assert values.same_value(v("x"), v("y"))
+        assert not values.same_value(v("x"), v("z"))
+
+    def test_phi_defines_a_new_value(self):
+        function = loop_function()
+        values = ValueTable(function)
+        assert not values.same_value(v("i1"), v("i0"))
+        assert values.value(v("i1")) == v("i1")
+
+    def test_operations_define_new_values(self):
+        function = loop_function()
+        values = ValueTable(function)
+        assert not values.same_value(v("s2"), v("s1"))
+
+    def test_parallel_copy_components_get_source_values(self):
+        fb = FunctionBuilder("pc", params=("p",))
+        entry = fb.block("entry")
+        with fb.at(entry):
+            a = fb.op("add", "p", 1, name="a")
+            fb.parallel_copy(("x", a), ("y", 3))
+            fb.ret("x")
+        values = ValueTable(fb.finish())
+        assert values.same_value(v("x"), v("a"))
+        assert values.value(v("y")) == ("const", 3)
+
+    def test_volatile_counters_are_not_single_valued(self):
+        function = figure2_branch_with_decrement()
+        values = ValueTable(function)
+        # u is a copy of n, but u is decremented by the terminator: it must
+        # not be considered equal in value to n.
+        assert not values.same_value(v("u"), v("n"))
+
+    def test_incremental_registration(self):
+        function = straight_line_copies()
+        values = ValueTable(function)
+        fresh = function.new_variable("b")
+        values.set_copy_of(fresh, v("b"))
+        assert values.same_value(fresh, v("a"))
+        other = function.new_variable("w")
+        values.set_fresh(other)
+        assert values.value(other) == other
+
+
+class TestPhiWebs:
+    def test_webs_group_connected_variables(self):
+        function = figure3_swap_problem()
+        webs = phi_webs(function)
+        all_members = {var.name for members in webs.values() for var in members}
+        assert {"a", "b", "a0", "b0"} <= all_members
+        # a and b are connected through the two φs, so they share one web.
+        containing_a = next(m for m in webs.values() if v("a") in m)
+        assert v("b") in containing_a
+
+    def test_no_phis_no_webs(self):
+        assert phi_webs(straight_line_copies()) == {}
+
+
+class TestConventionality:
+    def test_fresh_diamond_is_conventional(self):
+        assert is_conventional(diamond_function())
+
+    def test_lost_copy_is_not_conventional(self):
+        function = figure4_lost_copy_problem()
+        assert not is_conventional(function)
+        violations = conventionality_violations(function)
+        assert any({a.name, b.name} == {"x2", "x3"} for a, b in violations)
+
+    def test_swap_is_not_conventional(self):
+        assert not is_conventional(figure3_swap_problem())
+
+    def test_method_i_restores_conventionality(self):
+        from repro.outofssa.method_i import insert_phi_copies
+
+        for maker in (figure3_swap_problem, figure4_lost_copy_problem):
+            function = maker()
+            insert_phi_copies(function)
+            assert is_conventional(function), maker.__name__

@@ -1,0 +1,172 @@
+"""Unit tests for the small data structures in ``repro.utils``."""
+
+import pytest
+
+from repro.utils.bitset import BitMatrix, BitSet
+from repro.utils.instrument import AllocationTracker, current_tracker, track_allocations
+from repro.utils.orderedset import OrderedSet
+from repro.utils.unionfind import UnionFind
+
+
+class TestOrderedSet:
+    def test_preserves_insertion_order(self):
+        items = OrderedSet(["c", "a", "b", "a"])
+        assert list(items) == ["c", "a", "b"]
+
+    def test_membership_and_len(self):
+        items = OrderedSet([1, 2, 3])
+        assert 2 in items
+        assert 5 not in items
+        assert len(items) == 3
+        assert bool(items)
+        assert not OrderedSet()
+
+    def test_add_discard_remove(self):
+        items = OrderedSet([1])
+        items.add(2)
+        items.discard(3)  # absent: no error
+        items.remove(1)
+        with pytest.raises(KeyError):
+            items.remove(1)
+        assert list(items) == [2]
+
+    def test_set_algebra(self):
+        left = OrderedSet([1, 2, 3])
+        right = OrderedSet([3, 4])
+        assert list(left.union(right)) == [1, 2, 3, 4]
+        assert list(left.intersection(right)) == [3]
+        assert list(left.difference(right)) == [1, 2]
+        assert left.isdisjoint(OrderedSet([9]))
+        assert OrderedSet([1, 2]).issubset(left)
+        assert (left | right) == {1, 2, 3, 4}
+        assert (left & right) == {3}
+        assert (left - right) == {1, 2}
+
+    def test_equality_with_plain_sets(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1, 2]) != {1}
+
+    def test_update_and_difference_update(self):
+        items = OrderedSet([1])
+        items.update([2, 3])
+        items.difference_update([1, 3])
+        assert list(items) == [2]
+
+    def test_footprint(self):
+        assert OrderedSet([1, 2, 3]).footprint_bytes() == 24
+
+
+class TestBitSet:
+    def test_add_contains_iter(self):
+        bits = BitSet(10, [1, 3, 7])
+        assert 3 in bits
+        assert 4 not in bits
+        assert list(bits) == [1, 3, 7]
+        assert len(bits) == 3
+
+    def test_out_of_range(self):
+        bits = BitSet(4)
+        with pytest.raises(IndexError):
+            bits.add(4)
+        assert 17 not in bits
+
+    def test_algebra_and_union_update(self):
+        a = BitSet(8, [1, 2])
+        b = BitSet(8, [2, 3])
+        assert list(a.union(b)) == [1, 2, 3]
+        assert list(a.intersection(b)) == [2]
+        assert list(a.difference(b)) == [1]
+        assert not a.isdisjoint(b)
+        changed = a.union_update(b)
+        assert changed and 3 in a
+        assert a.union_update(b) is False
+
+    def test_footprint(self):
+        assert BitSet(9).footprint_bytes() == 2
+        assert BitSet(8).footprint_bytes() == 1
+
+
+class TestBitMatrix:
+    def test_symmetric_set_and_test(self):
+        matrix = BitMatrix(4)
+        matrix.set(1, 3)
+        assert matrix.test(3, 1)
+        assert matrix.test(1, 3)
+        assert not matrix.test(0, 2)
+        matrix.clear(3, 1)
+        assert not matrix.test(1, 3)
+
+    def test_grows_on_demand(self):
+        matrix = BitMatrix()
+        matrix.set(5, 2)
+        assert matrix.size == 6
+        assert matrix.test(2, 5)
+
+    def test_neighbours(self):
+        matrix = BitMatrix(4)
+        matrix.set(0, 2)
+        matrix.set(2, 3)
+        assert list(matrix.neighbours(2)) == [0, 3]
+
+    def test_footprint_matches_paper_formula(self):
+        assert BitMatrix.evaluated_footprint(16) == (16 // 8) * 16 // 2
+        matrix = BitMatrix(16)
+        assert matrix.footprint_bytes() == sum((i + 1 + 7) // 8 for i in range(16))
+        assert matrix.peak_bytes == matrix.footprint_bytes()
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        assert uf.same("a", "b")
+        assert not uf.same("a", "c")
+        assert uf.find("a") == uf.find("b")
+
+    def test_groups(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        groups = {frozenset(members) for members in uf.groups().values()}
+        assert frozenset({0, 1}) in groups
+        assert frozenset({3, 4}) in groups
+        assert frozenset({2}) in groups
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.union("x", "x")
+        uf.add("x")
+        assert len(uf) == 1
+
+
+class TestAllocationTracker:
+    def test_allocate_free_peak(self):
+        tracker = AllocationTracker()
+        tracker.allocate("graph", 100)
+        tracker.allocate("graph", 50)
+        tracker.free("graph", 120)
+        tracker.allocate("graph", 10)
+        assert tracker.total() == 160
+        assert tracker.peak() == 150
+        assert tracker.by_category()["graph"]["total"] == 160
+
+    def test_resize(self):
+        tracker = AllocationTracker()
+        tracker.resize("sets", 0, 40)
+        tracker.resize("sets", 40, 16)
+        assert tracker.total() == 40
+        assert tracker.peak() == 40
+
+    def test_context_manager_installs_tracker(self):
+        assert current_tracker() is None
+        with track_allocations() as tracker:
+            assert current_tracker() is tracker
+        assert current_tracker() is None
+
+    def test_negative_amounts_ignored(self):
+        tracker = AllocationTracker()
+        tracker.allocate("x", 0)
+        tracker.allocate("x", -5)
+        tracker.free("x", -5)
+        assert tracker.total() == 0
