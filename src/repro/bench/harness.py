@@ -170,12 +170,11 @@ def run_figure7(
                 totals[engine.name] = totals[engine.name] + footprint
                 maxima[engine.name] = max(maxima[engine.name], footprint.measured_peak)
 
-    maximum_row = Figure7Row(
-        metric="maximum",
-        measured=dict(maxima),
-        evaluated_ordered={name: fp.evaluated_ordered_sets for name, fp in totals.items()},
-        evaluated_bitset={name: fp.evaluated_bit_sets for name, fp in totals.items()},
-    )
+    # The evaluated closed forms are accumulated suite-wide, so they are only
+    # meaningful next to the "total" metric; the maximum row carries none
+    # (printing suite totals under "maximum" would misread as a ~20x formula
+    # error when comparing against the measured peak).
+    maximum_row = Figure7Row(metric="maximum", measured=dict(maxima))
     maximum_row.compute_ratios()
 
     total_row = Figure7Row(
@@ -207,7 +206,8 @@ def headline_summary(
     engines = [
         engine for engine in ENGINE_CONFIGURATIONS if engine.name in (fast_engine, baseline_engine)
     ]
-    time_rows = run_figure6(suite, engines)
+    # min-of-3 timing keeps the headline ratio stable against machine noise.
+    time_rows = run_figure6(suite, engines, repeats=3)
     memory_rows = run_figure7(suite, engines)
     figure5 = run_figure5(suite)
 

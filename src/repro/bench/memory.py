@@ -59,7 +59,11 @@ def footprint_of(result: OutOfSSAResult) -> MemoryFootprint:
     config: EngineConfig = result.config
 
     evaluated_graph = _bitmatrix_bytes(stats.candidate_variables) if config.use_interference_graph else 0
-    if config.liveness == "sets":
+    if config.liveness in ("sets", "bitsets"):
+        # Both set-based backends evaluate to the same two closed forms; with
+        # the "bitsets" backend the bit-set formula is additionally *measured*
+        # (the oracle allocates exactly those rows, reported via the tracker
+        # into ``measured_total`` / ``measured_peak``).
         evaluated_live_ordered = 8 * stats.liveness_set_entries
         evaluated_live_bitset = _liveness_bitset_bytes(stats.candidate_variables, stats.num_blocks)
     else:

@@ -57,7 +57,13 @@ def format_figure6(rows: List[Figure6Row]) -> str:
 
 
 def format_figure7(rows: List[Figure7Row]) -> str:
-    """Figure 7: memory footprint (measured + evaluated), normalised to Sreedhar III."""
+    """Figure 7: memory footprint (measured + evaluated), normalised to Sreedhar III.
+
+    Each metric prints the measured footprint first and, when the harness
+    provided them, the paper's two closed-form "evaluated" estimates right
+    below it — so the measured bit-set liveness rows can be read next to the
+    ``ceil(#vars/8) * #blocks * 2`` formula they are supposed to realise.
+    """
     engine_names = [engine.name for engine in ENGINE_CONFIGURATIONS]
     headers = ["metric"] + [engine.label for engine in ENGINE_CONFIGURATIONS]
     table_rows = []
@@ -71,4 +77,15 @@ def format_figure7(rows: List[Figure7Row]) -> str:
             else:
                 cells.append(f"{ratio:.2f} ({measured // 1024} KiB)")
         table_rows.append(cells)
+        for label, evaluated in (
+            ("evaluated ordered", row.evaluated_ordered),
+            ("evaluated bit-sets", row.evaluated_bitset),
+        ):
+            if not evaluated:
+                continue
+            cells = [f"  {row.metric} ({label})"]
+            for name in engine_names:
+                value = evaluated.get(name)
+                cells.append(f"{value // 1024} KiB" if value is not None else "-")
+            table_rows.append(cells)
     return _format_table(headers, table_rows)

@@ -18,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional, Sequence
 
@@ -65,6 +66,13 @@ def command_translate(args: argparse.Namespace) -> int:
         )
     else:
         config = engine_by_name(args.engine)
+    if args.liveness:
+        config = dataclasses.replace(
+            config,
+            name=f"{config.name}_{args.liveness}",
+            label=f"{config.label} [{args.liveness}]",
+            liveness=args.liveness,
+        )
 
     result = destruct_ssa(function, config)
     print(format_function(function), end="")
@@ -134,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="engine configuration name (see 'repro list')")
     translate.add_argument("--variant", default=None,
                            help="coalescing strategy name (overrides --engine's strategy)")
+    translate.add_argument("--liveness", default=None, choices=("sets", "bitsets", "check"),
+                           help="liveness backend: ordered sets, bit-set worklist, or "
+                                "liveness checking (overrides the engine's backend)")
     translate.add_argument("--construct-ssa", action="store_true",
                            help="build SSA first (for non-SSA input files)")
     translate.add_argument("--optimize", action="store_true",

@@ -13,21 +13,28 @@ copies are materialized, exactly like in Method III.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 from repro.ir.function import Function
 from repro.ir.instructions import Variable
 from repro.interference.definitions import InterferenceKind, InterferenceTest
+from repro.liveness.numbering import VariableNumbering
 from repro.utils.bitset import BitMatrix
 from repro.utils.instrument import current_tracker
 
 
 class InterferenceGraph:
-    """Half bit-matrix over an (extensible) universe of variables."""
+    """Half bit-matrix over an (extensible) universe of variables.
+
+    Variable-to-index mapping is a
+    :class:`~repro.liveness.numbering.VariableNumbering` — the same dense,
+    append-only numbering the bit-set liveness backend uses — so both bit
+    structures agree on what "variable i" means when they are built over the
+    same universe.
+    """
 
     def __init__(self, universe: Iterable[Variable] = ()) -> None:
-        self._index: Dict[Variable, int] = {}
-        self._vars: List[Variable] = []
+        self._numbering = VariableNumbering()
         self._matrix = BitMatrix()
         for var in universe:
             self.add_variable(var)
@@ -35,12 +42,11 @@ class InterferenceGraph:
     # -- universe management -------------------------------------------------------
     def add_variable(self, var: Variable) -> int:
         """Add ``var`` to the universe (idempotent); return its index."""
-        index = self._index.get(var)
-        if index is not None:
+        numbering = self._numbering
+        before = len(numbering)
+        index = numbering.ensure(var)
+        if index < before:          # already numbered: single-lookup fast path
             return index
-        index = len(self._vars)
-        self._index[var] = index
-        self._vars.append(var)
         old_bytes = self._matrix.footprint_bytes()
         self._matrix.grow(index + 1)
         tracker = current_tracker()
@@ -49,13 +55,13 @@ class InterferenceGraph:
         return index
 
     def __contains__(self, var: Variable) -> bool:
-        return var in self._index
+        return var in self._numbering
 
     def variables(self) -> List[Variable]:
-        return list(self._vars)
+        return list(self._numbering)
 
     def __len__(self) -> int:
-        return len(self._vars)
+        return len(self._numbering)
 
     # -- edges ------------------------------------------------------------------------
     def add_edge(self, a: Variable, b: Variable) -> None:
@@ -64,22 +70,23 @@ class InterferenceGraph:
         self._matrix.set(self.add_variable(a), self.add_variable(b))
 
     def interferes(self, a: Variable, b: Variable) -> bool:
-        index_a = self._index.get(a)
-        index_b = self._index.get(b)
+        index_a = self._numbering.get(a)
+        index_b = self._numbering.get(b)
         if index_a is None or index_b is None or index_a == index_b:
             return False
         return self._matrix.test(index_a, index_b)
 
     def neighbours(self, var: Variable) -> List[Variable]:
-        index = self._index.get(var)
+        index = self._numbering.get(var)
         if index is None:
             return []
-        return [self._vars[other] for other in self._matrix.neighbours(index)]
+        variable = self._numbering.variable
+        return [variable(other) for other in self._matrix.neighbours(index)]
 
     def edge_count(self) -> int:
         return sum(
             1
-            for i in range(len(self._vars))
+            for i in range(len(self._numbering))
             for j in range(i)
             if self._matrix.test(i, j)
         )
@@ -131,12 +138,37 @@ class InterferenceGraph:
         """
         from repro.ir.instructions import Copy, ParallelCopy, Phi
         from repro.ir.positions import block_schedule  # local import, avoids cycles
+        from repro.liveness.bitsets import BitLivenessSets
 
         liveness = test.oracle.liveness
         candidates = list(universe) if universe is not None else function.variables()
         in_universe = set(candidates)
         graph = cls(candidates)
         kind = test.kind
+
+        # With the bit-set liveness backend the per-block "universe variables
+        # live at the end of the block" set is one mask intersection plus a
+        # decode of the surviving bits, instead of one oracle query per
+        # universe variable per block.
+        bit_liveness = liveness if isinstance(liveness, BitLivenessSets) else None
+        universe_mask = 0
+        if bit_liveness is not None:
+            for var in candidates:
+                index = bit_liveness.numbering.get(var)
+                if index is not None:
+                    universe_mask |= 1 << index
+
+        def live_out_universe(block_label: str) -> set:
+            if bit_liveness is None:
+                return {var for var in in_universe if liveness.is_live_out(block_label, var)}
+            variable = bit_liveness.numbering.variable
+            mask = bit_liveness.live_out[block_label].bits & universe_mask
+            live = set()
+            while mask:
+                low = mask & -mask
+                live.add(variable(low.bit_length() - 1))
+                mask ^= low
+            return live
 
         def copy_source_of(instruction, defined: Variable):
             if isinstance(instruction, Copy) and instruction.dst == defined:
@@ -149,7 +181,7 @@ class InterferenceGraph:
 
         for block in function:
             # Live universe variables at the end of the block.
-            live = {var for var in in_universe if liveness.is_live_out(block.label, var)}
+            live = live_out_universe(block.label)
             for _index, instruction in reversed(block_schedule(block)):
                 defs = list(instruction.defs())
                 if defs:

@@ -30,18 +30,21 @@ class Variable:
     round-trip exact and test assertions readable.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("variable name must be non-empty")
         self.name = name
+        # Variables are hashed on every liveness/interference/coalescing set
+        # operation; precomputing the hash keeps those paths cheap.
+        self._hash = hash(("var", name))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"

@@ -1,9 +1,12 @@
 """Classic iterative data-flow liveness: live-in / live-out sets per block.
 
-This is the liveness representation of the paper's baseline configurations
-(``Sreedhar III``, plain ``Us I`` / ``Us III``).  Sets are stored as
-:class:`~repro.utils.orderedset.OrderedSet`; their footprint (and the bit-set
-alternative the paper also evaluates) feeds the Figure 7 memory model.
+This is the *reference* set-based backend (``liveness="sets"``): a round-robin
+fixpoint over :class:`~repro.utils.orderedset.OrderedSet` live-in / live-out
+sets, deliberately simple so it can serve as the semantic oracle that the
+fast bit-set backend (:class:`~repro.liveness.bitsets.BitLivenessSets`, which
+the paper's set-based engine configurations actually run on) is tested
+against.  The ordered-set footprint feeds the Figure 7 "evaluated ordered"
+memory column.
 
 The transfer functions implement the SSA conventions documented in
 :mod:`repro.liveness.base`: φ-arguments are live-out of the predecessor they

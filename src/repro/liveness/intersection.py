@@ -34,6 +34,10 @@ class IntersectionOracle:
         self.liveness = liveness
         self.domtree = domtree or DominatorTree(function)
         self.query_count = 0
+        # Definition points are fixed for the lifetime of the oracle (the
+        # function is only rewritten after coalescing), so the ≺ sort keys
+        # can be cached; class merges re-sort members constantly.
+        self._order_keys: dict = {}
 
     def intersect(self, a: Variable, b: Variable) -> bool:
         """Do the live ranges of ``a`` and ``b`` intersect?"""
@@ -61,14 +65,19 @@ class IntersectionOracle:
         This is the order ≺ used to keep congruence classes sorted for the
         linear interference test (§IV-B).
         """
-        def_point = self.liveness.definition_of(var)
-        if def_point is None:
-            return (-1, -1, var.name)
-        return (
-            self.domtree.preorder_index(def_point.block),
-            def_point.index,
-            var.name,
-        )
+        key = self._order_keys.get(var)
+        if key is None:
+            def_point = self.liveness.definition_of(var)
+            if def_point is None:
+                key = (-1, -1, var.name)
+            else:
+                key = (
+                    self.domtree.preorder_index(def_point.block),
+                    def_point.index,
+                    var.name,
+                )
+            self._order_keys[var] = key
+        return key
 
     def dominates(self, a: Variable, b: Variable) -> bool:
         """Does the definition of ``a`` dominate the definition of ``b``?"""

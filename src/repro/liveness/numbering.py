@@ -1,0 +1,70 @@
+"""Dense variable numbering shared by the bit-encoded analyses.
+
+Both the bit-set liveness backend (:mod:`repro.liveness.bitsets`) and the half
+bit-matrix interference graph (:mod:`repro.interference.graph`) need to map
+variables to small dense integer indices so that set membership becomes a bit
+test.  This module numbers the variables of a function *once* and keeps the
+mapping stable while new variables (virtualized copies, sequentialization
+temporaries) are appended on the fly — exactly the growth discipline of the
+paper's Method III structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+
+
+class VariableNumbering:
+    """A stable bijection ``variable <-> dense index`` (append-only)."""
+
+    __slots__ = ("_index", "_items")
+
+    def __init__(self, items: Iterable[Variable] = ()) -> None:
+        self._index: Dict[Variable, int] = {}
+        self._items: List[Variable] = []
+        for item in items:
+            self.ensure(item)
+
+    @classmethod
+    def of_function(cls, function: Function) -> "VariableNumbering":
+        """Number every variable of ``function`` in its deterministic
+        definition/use discovery order (parameters first)."""
+        return cls(function.variables())
+
+    # -- mapping -------------------------------------------------------------
+    def ensure(self, item: Variable) -> int:
+        """Return ``item``'s index, assigning the next free one if new."""
+        index = self._index.get(item)
+        if index is None:
+            index = len(self._items)
+            self._index[item] = index
+            self._items.append(item)
+        return index
+
+    def get(self, item: Variable) -> Optional[int]:
+        """``item``'s index, or ``None`` if it was never numbered."""
+        return self._index.get(item)
+
+    def index_of(self, item: Variable) -> int:
+        """``item``'s index; raises :class:`KeyError` for unnumbered items."""
+        return self._index[item]
+
+    def variable(self, index: int) -> Variable:
+        """The variable numbered ``index``."""
+        return self._items[index]
+
+    # -- container protocol --------------------------------------------------
+    def __contains__(self, item: Variable) -> bool:
+        return item in self._index
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"VariableNumbering({len(self._items)} variables)"

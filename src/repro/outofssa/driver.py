@@ -6,9 +6,10 @@
    (Method I) and each φ's primed variables are pre-coalesced into a φ-node
    congruence class; register-renaming constraints contribute pre-coalesced,
    register-labelled classes.
-2. **Interference** — liveness (data-flow sets or liveness checking), SSA
-   values, and the selected interference notion are set up; optionally an
-   explicit interference graph (half bit-matrix) is built.
+2. **Interference** — liveness (ordered-set data-flow, bit-set worklist
+   data-flow, or liveness checking), SSA values, and the selected interference
+   notion are set up; optionally an explicit interference graph (half
+   bit-matrix) is built.
 3. **Coalescing** — aggressive, weight-driven coalescing of all copy-related
    affinities, with the Figure 5 strategy variants, optionally followed by the
    copy-sharing post-pass.
@@ -44,6 +45,7 @@ from repro.ir.instructions import (
     Variable,
 )
 from repro.liveness.base import LivenessOracle
+from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
 from repro.liveness.livecheck import LivenessChecker
 from repro.outofssa.method_i import PhiCopyInsertion, insert_phi_copies
@@ -62,8 +64,10 @@ class EngineConfig:
     label: str
     #: Figure 5 coalescing variant driving interference notion / ordering.
     coalescing: str = "value"
-    #: "sets" (data-flow liveness sets) or "check" (liveness checking).
-    liveness: str = "sets"
+    #: Liveness backend: "sets" (ordered-set data-flow, the reference
+    #: implementation), "bitsets" (bit-set rows + worklist, the encoding
+    #: Figure 7 evaluates) or "check" (liveness checking, no global sets).
+    liveness: str = "bitsets"
     #: Build an explicit interference graph (bit-matrix) or answer pairwise
     #: queries directly ("InterCheck").
     use_interference_graph: bool = True
@@ -75,7 +79,12 @@ class EngineConfig:
 
     def describe(self) -> str:
         parts = [variant_by_name(self.coalescing).label]
-        parts.append("liveness sets" if self.liveness == "sets" else "LiveCheck")
+        liveness_labels = {
+            "sets": "ordered liveness sets",
+            "bitsets": "bit-set liveness",
+            "check": "LiveCheck",
+        }
+        parts.append(liveness_labels.get(self.liveness, self.liveness))
         parts.append("interference graph" if self.use_interference_graph else "InterCheck")
         parts.append("linear class check" if self.linear_class_check else "quadratic class check")
         return ", ".join(parts)
@@ -85,15 +94,15 @@ class EngineConfig:
 ENGINE_CONFIGURATIONS: List[EngineConfig] = [
     EngineConfig(
         name="sreedhar_iii", label="Sreedhar III", coalescing="sreedhar_iii",
-        liveness="sets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii", label="Us III", coalescing="value_is",
-        liveness="sets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii_intercheck", label="Us III + InterCheck", coalescing="value_is",
-        liveness="sets", use_interference_graph=False, linear_class_check=False,
+        liveness="bitsets", use_interference_graph=False, linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii_intercheck_livecheck", label="Us III + InterCheck + LiveCheck",
@@ -107,7 +116,7 @@ ENGINE_CONFIGURATIONS: List[EngineConfig] = [
     ),
     EngineConfig(
         name="us_i", label="Us I", coalescing="value",
-        liveness="sets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
     ),
     EngineConfig(
         name="us_i_linear_intercheck_livecheck",
@@ -190,6 +199,8 @@ class _GraphBackedInterferenceTest(InterferenceTest):
 def _make_liveness(function: Function, kind: str) -> LivenessOracle:
     if kind == "sets":
         return LivenessSets(function)
+    if kind == "bitsets":
+        return BitLivenessSets(function)
     if kind == "check":
         return LivenessChecker(function)
     raise ValueError(f"unknown liveness oracle kind {kind!r}")
@@ -253,7 +264,7 @@ def destruct_ssa(
         universe = _candidate_universe(function, insertion, affinities)
         stats.candidate_variables = len(universe)
         stats.num_blocks = len(function.blocks)
-        if isinstance(liveness, LivenessSets):
+        if isinstance(liveness, (LivenessSets, BitLivenessSets)):
             stats.liveness_set_entries = sum(
                 len(s) for s in liveness.live_in.values()
             ) + sum(len(s) for s in liveness.live_out.values())

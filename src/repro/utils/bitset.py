@@ -34,9 +34,25 @@ class BitSet:
         self._check(item)
         self._bits |= 1 << item
 
-    def discard(self, item: int) -> None:
-        self._check(item)
+    def remove(self, item: int) -> None:
+        """Remove ``item``; raise :class:`KeyError` if it is not in the set."""
+        if item not in self:
+            raise KeyError(item)
         self._bits &= ~(1 << item)
+
+    def discard(self, item: int) -> None:
+        """Remove ``item`` if present.
+
+        Mirrors ``set.discard`` (and ``__contains__``): out-of-universe items
+        are simply not in the set, so discarding them is a no-op, not an error.
+        """
+        if 0 <= item < self.universe:
+            self._bits &= ~(1 << item)
+
+    @property
+    def bits(self) -> int:
+        """The raw bit mask (read-only; for mask-level fast paths)."""
+        return self._bits
 
     def __contains__(self, item: int) -> bool:
         if not (0 <= item < self.universe):
@@ -45,12 +61,10 @@ class BitSet:
 
     def __iter__(self) -> Iterator[int]:
         bits = self._bits
-        index = 0
         while bits:
-            if bits & 1:
-                yield index
-            bits >>= 1
-            index += 1
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
 
     def __len__(self) -> int:
         return bin(self._bits).count("1")
@@ -59,26 +73,62 @@ class BitSet:
         return self._bits != 0
 
     def __eq__(self, other: object) -> bool:
+        """Two bit sets are equal iff they have the same universe *and* bits.
+
+        A ``BitSet`` is a fixed-universe object: ``BitSet(4, [1])`` and
+        ``BitSet(8, [1])`` behave differently under ``add``/``difference``
+        complement-style operations, so they must not compare equal even
+        though their members coincide.
+        """
         if isinstance(other, BitSet):
-            return self._bits == other._bits
+            return self.universe == other.universe and self._bits == other._bits
         return NotImplemented
 
     def __repr__(self) -> str:
         return "BitSet({})".format(sorted(self))
 
+    # -- universe management -------------------------------------------------
+    def grow(self, new_universe: int) -> None:
+        """Extend the universe to ``new_universe`` indices (monotonic no-op
+        when smaller).  Existing members keep their indices; shrinking is not
+        supported because it could silently drop members."""
+        if new_universe > self.universe:
+            self.universe = new_universe
+
+    @classmethod
+    def from_bits(cls, universe: int, bits: int) -> "BitSet":
+        """Wrap a raw bit mask (e.g. from a fixpoint solver) into a BitSet."""
+        new = cls(universe)
+        if bits < 0 or bits >> universe:
+            raise ValueError("bit mask has bits outside the universe")
+        new._bits = bits
+        return new
+
     # -- set algebra ---------------------------------------------------------
+    # Binary operations between sets of *different* universes are defined by
+    # embedding both operands into the larger universe (indices are stable, so
+    # the embedding is the identity on members); the result carries that
+    # larger universe.  Operations never shrink a universe.
     def union_update(self, other: "BitSet") -> bool:
-        """In-place union; returns True if this set changed (for fixpoints)."""
+        """In-place union; returns True if this set changed (for fixpoints).
+
+        Grows this set's universe to cover ``other``'s, per the rule above.
+        """
+        self.grow(other.universe)
         before = self._bits
         self._bits |= other._bits
         return self._bits != before
 
     def union(self, other: "BitSet") -> "BitSet":
+        """Union over the merged (max) universe of the two operands."""
         new = BitSet(max(self.universe, other.universe))
         new._bits = self._bits | other._bits
         return new
 
     def intersection(self, other: "BitSet") -> "BitSet":
+        """Intersection, also carried in the merged (max) universe: although
+        no member can exceed the smaller universe, keeping the merged one
+        makes union/intersection results interoperable."""
         new = BitSet(max(self.universe, other.universe))
         new._bits = self._bits & other._bits
         return new
@@ -112,11 +162,12 @@ class BitMatrix:
     perfect-memory formula ``ceil(n/8) * n/2``.
     """
 
-    __slots__ = ("_rows", "_size", "peak_bytes", "total_allocated_bytes")
+    __slots__ = ("_rows", "_size", "_footprint", "peak_bytes", "total_allocated_bytes")
 
     def __init__(self, size: int = 0) -> None:
         self._size = 0
         self._rows: list = []
+        self._footprint = 0
         self.peak_bytes = 0
         self.total_allocated_bytes = 0
         if size:
@@ -134,9 +185,11 @@ class BitMatrix:
             # Row i of a half matrix stores the relation with 0..i-1 plus the
             # diagonal, i.e. i+1 bits.
             self._rows.append(0)
-            self.total_allocated_bytes += (index + 1 + 7) // 8
+            row_bytes = (index + 1 + 7) // 8
+            self.total_allocated_bytes += row_bytes
+            self._footprint += row_bytes
         self._size = new_size
-        self.peak_bytes = max(self.peak_bytes, self.footprint_bytes())
+        self.peak_bytes = max(self.peak_bytes, self._footprint)
 
     def _order(self, a: int, b: int) -> tuple:
         return (a, b) if a >= b else (b, a)
@@ -159,14 +212,29 @@ class BitMatrix:
         return bool(self._rows[high] >> low & 1)
 
     def neighbours(self, a: int) -> Iterator[int]:
-        """Iterate over all indices related to ``a``."""
-        for other in range(self._size):
-            if other != a and self.test(a, other):
+        """Iterate over all indices related to ``a``, in increasing order.
+
+        The half matrix stores the pair ``{a, b}`` on the row of the larger
+        index, so the neighbours below ``a`` are exactly the set bits of row
+        ``a`` (scanned with low-bit tricks, one step per *set* bit), and the
+        neighbours above ``a`` are the rows whose bit ``a`` is set (one word
+        test per row, no pair re-ordering or re-indexing per query).
+        """
+        if a < 0 or a >= self._size:
+            return
+        row = self._rows[a] & ~(1 << a)  # the diagonal is not a neighbour
+        while row:
+            low = row & -row
+            yield low.bit_length() - 1
+            row ^= low
+        for other in range(a + 1, self._size):
+            if self._rows[other] >> a & 1:
                 yield other
 
     def footprint_bytes(self) -> int:
-        """Current idealised footprint of the half matrix."""
-        return sum((index + 1 + 7) // 8 for index in range(self._size))
+        """Current idealised footprint of the half matrix (kept incrementally:
+        ``add_variable`` reads it before/after every grow)."""
+        return self._footprint
 
     @staticmethod
     def evaluated_footprint(num_variables: int) -> int:

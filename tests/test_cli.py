@@ -50,6 +50,15 @@ class TestTranslate:
         assert main(["translate", lost_copy_file, "--variant", "intersect"]) == 0
         assert "phi" not in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ["sets", "bitsets", "check"])
+    def test_translate_with_liveness_backend(self, lost_copy_file, capsys, backend):
+        assert main([
+            "translate", lost_copy_file, "--engine", "us_i", "--liveness", backend, "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "phi" not in captured.out
+        assert "engine" in captured.err
+
     def test_translate_non_ssa_with_pipeline(self, non_ssa_file, capsys):
         assert main([
             "translate", non_ssa_file, "--construct-ssa", "--optimize", "--abi", "--stats",

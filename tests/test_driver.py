@@ -69,6 +69,37 @@ class TestEngineConfigurations:
                 assert run_function(copy, args).observable() == expected
 
 
+class TestLivenessBackendPluggability:
+    def test_all_backends_translate_identically(self):
+        """The liveness backend is an implementation detail: swapping it must
+        not change a single instruction of the translated output."""
+        import dataclasses
+
+        from repro.ir.printer import format_function
+
+        for function in generated_programs(count=3, size=30):
+            outputs = {}
+            for backend in ("sets", "bitsets", "check"):
+                config = dataclasses.replace(
+                    engine_by_name("us_i"), name=f"us_i_{backend}", liveness=backend
+                )
+                copy = function.copy()
+                destruct_ssa(copy, config)
+                outputs[backend] = format_function(copy)
+            assert outputs["sets"] == outputs["bitsets"] == outputs["check"]
+
+    def test_unknown_backend_is_rejected(self):
+        import dataclasses
+
+        config = dataclasses.replace(engine_by_name("us_i"), name="bogus", liveness="bogus")
+        with pytest.raises(ValueError):
+            destruct_ssa(next(iter(generated_programs(count=1, size=15))).copy(), config)
+
+    def test_set_based_engines_use_the_bitset_backend(self):
+        for name in ("sreedhar_iii", "us_iii", "us_iii_intercheck", "us_i"):
+            assert engine_by_name(name).liveness == "bitsets"
+
+
 class TestStatsAndResults:
     def test_stats_are_populated(self):
         from repro.gallery import figure4_lost_copy_problem

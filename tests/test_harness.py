@@ -58,7 +58,9 @@ class TestFigure6Harness:
 
     def test_fast_configuration_beats_the_baseline(self, tiny_suite):
         engines = [engine_by_name("sreedhar_iii"), engine_by_name("us_i_linear_intercheck_livecheck")]
-        rows = run_figure6(tiny_suite, engines=engines)
+        # min-of-3: the tiny suite runs in a few ms per engine, so a single
+        # scheduler hiccup could otherwise flip the comparison.
+        rows = run_figure6(tiny_suite, engines=engines, repeats=3)
         sum_row = next(row for row in rows if row.benchmark == "sum")
         assert sum_row.seconds["us_i_linear_intercheck_livecheck"] < sum_row.seconds["sreedhar_iii"]
 
@@ -89,7 +91,9 @@ class TestFigure7Harness:
         assert baseline_footprint.measured_total > fast_footprint.measured_total
         assert baseline_footprint.evaluated_ordered_sets > 0
         assert baseline_footprint.evaluated_bit_sets > 0
-        assert "liveness_sets" in category_breakdown(baseline)
+        # The baseline engines now run on the bit-set liveness backend, whose
+        # measured rows land in their own tracker category.
+        assert "liveness_bitsets" in category_breakdown(baseline)
         assert "livecheck" in category_breakdown(fast)
 
     def test_memory_footprint_addition(self):

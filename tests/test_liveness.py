@@ -4,6 +4,7 @@ import pytest
 
 from repro.ir.instructions import Variable
 from repro.ir.positions import terminator_index
+from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
 from repro.liveness.intersection import IntersectionOracle, live_ranges_intersect
 from repro.liveness.livecheck import LivenessChecker
@@ -63,6 +64,90 @@ class TestLivenessSets:
         assert liveness.footprint_bytes() > 0
         assert liveness.evaluated_bitset_footprint(32) == 4 * len(function.blocks) * 2
         assert liveness.evaluated_ordered_footprint() == liveness.footprint_bytes()
+
+
+class TestBitLivenessSets:
+    @pytest.mark.parametrize("maker", [loop_function, diamond_function,
+                                       figure1_branch_use, figure3_swap_problem,
+                                       figure4_lost_copy_problem])
+    def test_matches_ordered_sets(self, maker):
+        function = maker()
+        sets = LivenessSets(function)
+        bits = BitLivenessSets(function)
+        for block in function.blocks:
+            for var in function.variables():
+                assert sets.is_live_in(block, var) == bits.is_live_in(block, var), (block, var)
+                assert sets.is_live_out(block, var) == bits.is_live_out(block, var), (block, var)
+
+    def test_loop_liveness_semantics(self):
+        function = loop_function()
+        liveness = BitLivenessSets(function)
+        # φ-results are not live-in of their own block.
+        assert not liveness.is_live_in("header", v("i1"))
+        # φ-arguments are live-out of the predecessor they flow from.
+        assert liveness.is_live_out("entry", v("i0"))
+        assert liveness.is_live_out("body", v("i2"))
+        assert liveness.is_live_in("header", v("n"))
+        assert not any(liveness.is_live_out("exit", var) for var in function.variables())
+
+    def test_unknown_variable_is_not_live(self):
+        function = loop_function()
+        liveness = BitLivenessSets(function)
+        assert not liveness.is_live_in("header", v("nosuchvar"))
+        assert not liveness.is_live_out("header", v("nosuchvar"))
+
+    def test_row_decoding(self):
+        function = loop_function()
+        sets = LivenessSets(function)
+        bits = BitLivenessSets(function)
+        for block in function.blocks:
+            assert set(bits.live_in_variables(block)) == set(sets.live_in[block])
+            assert set(bits.live_out_variables(block)) == set(sets.live_out[block])
+
+    def test_incremental_hooks_grow_the_universe(self):
+        function = diamond_function()
+        liveness = BitLivenessSets(function)
+        ghost = v("ghost")   # not part of the function: numbering must grow
+        assert ghost not in liveness.numbering
+        liveness.add_live_through("left", ghost)
+        assert liveness.is_live_in("left", ghost)
+        assert liveness.is_live_out("left", ghost)
+        liveness.add_live_out("entry", ghost)
+        liveness.add_live_in("join", ghost)
+        assert liveness.is_live_out("entry", ghost)
+        assert liveness.is_live_in("join", ghost)
+        # Existing rows grew to the new universe without losing members.
+        assert liveness.live_in["left"].universe == len(liveness.numbering)
+
+    def test_measured_footprint_realises_the_bitset_formula(self):
+        function = loop_function()
+        liveness = BitLivenessSets(function)
+        universe = len(liveness.numbering)
+        blocks = len(function.blocks)
+        assert liveness.footprint_bytes() == ((universe + 7) // 8) * blocks * 2
+        assert liveness.evaluated_bitset_footprint(universe) == liveness.footprint_bytes()
+
+
+class TestVariableNumbering:
+    def test_stable_dense_indices(self):
+        from repro.liveness.numbering import VariableNumbering
+
+        numbering = VariableNumbering([v("a"), v("b"), v("a")])
+        assert len(numbering) == 2
+        assert numbering.index_of(v("a")) == 0
+        assert numbering.ensure(v("c")) == 2          # append-only growth
+        assert numbering.ensure(v("b")) == 1          # idempotent
+        assert numbering.get(v("zz")) is None
+        assert numbering.variable(2) == v("c")
+        assert list(numbering) == [v("a"), v("b"), v("c")]
+
+    def test_of_function_covers_all_variables(self):
+        from repro.liveness.numbering import VariableNumbering
+
+        function = loop_function()
+        numbering = VariableNumbering.of_function(function)
+        for var in function.variables():
+            assert var in numbering
 
 
 class TestLivenessChecker:

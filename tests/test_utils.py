@@ -85,6 +85,55 @@ class TestBitSet:
         assert BitSet(9).footprint_bytes() == 2
         assert BitSet(8).footprint_bytes() == 1
 
+    def test_eq_requires_same_universe(self):
+        """Regression: same bits over different universes must not be equal."""
+        assert BitSet(4, [1]) != BitSet(8, [1])
+        assert BitSet(8, [1]) == BitSet(8, [1])
+        assert BitSet(8, [1]) != BitSet(8, [2])
+        assert BitSet(4).__eq__(object()) is NotImplemented
+
+    def test_discard_tolerates_out_of_universe(self):
+        """Regression: discard follows set.discard (and __contains__), so
+        out-of-universe items are a no-op, not an IndexError."""
+        bits = BitSet(4, [1, 2])
+        bits.discard(17)        # out of universe: no error, like `17 not in bits`
+        bits.discard(-3)
+        bits.discard(3)         # absent but in universe: no error
+        bits.discard(2)
+        assert list(bits) == [1]
+        # add() keeps its strict contract.
+        with pytest.raises(IndexError):
+            bits.add(17)
+
+    def test_remove_raises_for_missing_items(self):
+        bits = BitSet(4, [1])
+        bits.remove(1)
+        with pytest.raises(KeyError):
+            bits.remove(1)
+        with pytest.raises(KeyError):
+            bits.remove(17)
+
+    def test_union_and_intersection_merge_universes(self):
+        small = BitSet(4, [1, 3])
+        large = BitSet(16, [3, 9])
+        assert small.union(large).universe == 16
+        assert list(small.union(large)) == [1, 3, 9]
+        assert small.intersection(large).universe == 16
+        assert list(small.intersection(large)) == [3]
+        # In-place union grows the receiver's universe to cover the operand.
+        assert small.union_update(large) is True
+        assert small.universe == 16 and 9 in small
+
+    def test_grow_and_from_bits(self):
+        bits = BitSet(2, [1])
+        bits.grow(8)
+        bits.add(7)
+        bits.grow(4)            # never shrinks
+        assert bits.universe == 8 and list(bits) == [1, 7]
+        assert list(BitSet.from_bits(4, 0b1010)) == [1, 3]
+        with pytest.raises(ValueError):
+            BitSet.from_bits(3, 0b1000)
+
 
 class TestBitMatrix:
     def test_symmetric_set_and_test(self):
@@ -107,6 +156,33 @@ class TestBitMatrix:
         matrix.set(0, 2)
         matrix.set(2, 3)
         assert list(matrix.neighbours(2)) == [0, 3]
+
+    def test_neighbours_matches_test_based_scan(self):
+        """Regression: the word-scanning neighbours() must agree (bits and
+        order) with the naive one-test-per-index definition."""
+        import random
+
+        rng = random.Random(7)
+        matrix = BitMatrix(24)
+        for _ in range(80):
+            a, b = rng.randrange(24), rng.randrange(24)
+            if a != b:
+                matrix.set(a, b)
+        for a in range(24):
+            expected = [other for other in range(24) if other != a and matrix.test(a, other)]
+            assert list(matrix.neighbours(a)) == expected
+
+    def test_neighbours_out_of_range_is_empty(self):
+        matrix = BitMatrix(4)
+        matrix.set(1, 2)
+        assert list(matrix.neighbours(7)) == []
+        assert list(matrix.neighbours(-1)) == []
+
+    def test_diagonal_is_not_a_neighbour(self):
+        matrix = BitMatrix(4)
+        matrix.set(2, 1)
+        matrix._rows[2] |= 1 << 2  # force the diagonal bit
+        assert list(matrix.neighbours(2)) == [1]
 
     def test_footprint_matches_paper_formula(self):
         assert BitMatrix.evaluated_footprint(16) == (16 // 8) * 16 // 2
