@@ -1,4 +1,4 @@
-"""A miniature JIT middle-end built on the library's public API.
+"""A miniature JIT middle-end built on the library's pass-pipeline API.
 
 This is the scenario that motivates the paper: a just-in-time compiler that
 (1) builds SSA from the incoming (non-SSA) code, (2) runs the cheap SSA
@@ -6,17 +6,19 @@ optimizations that break conventionality (copy folding, value numbering),
 (3) applies calling-convention constraints, and (4) must get *out* of SSA
 quickly and with little memory before register allocation.
 
+All four steps are one declarative :class:`repro.Pipeline` run: the front
+half and the paper's four out-of-SSA phases execute as passes over a shared
+analysis cache, and the result reports per-pass wall-clock times.
+
 Run with:  python examples/jit_pipeline.py
 """
 
 from repro.bench.metrics import copy_counts
 from repro.interp import run_function
 from repro.ir import format_function, parse_function
-from repro.outofssa import apply_calling_convention, destruct_ssa
-from repro.outofssa.driver import engine_by_name
+from repro.pipeline import Pipeline
 from repro.regalloc import allocate_registers
 from repro.regalloc.linear_scan import verify_allocation
-from repro.ssa import construct_ssa, fold_copies, remove_dead_code, value_number
 from repro.utils import AllocationTracker
 
 
@@ -58,22 +60,19 @@ def main() -> None:
     print(format_function(function))
     reference = run_function(parse_function(SOURCE), [3, 4])
 
-    # 1. SSA construction.
-    construct_ssa(function)
-    # 2. The SSA optimizations that make the form non-conventional.
-    value_number(function)
-    fold_copies(function)
-    remove_dead_code(function)
-    # 3. Register renaming constraints for the call.
-    apply_calling_convention(function)
-    print("=== optimized SSA (about to leave SSA) ===")
-    print(format_function(function))
-
-    # 4. Out of SSA, with the JIT-friendly engine (no interference graph, no
-    #    liveness sets, linear congruence-class checks).
+    # Steps 1-4 as one pipeline: SSA construction, the SSA optimizations that
+    # make the form non-conventional, register renaming constraints for the
+    # call, then out of SSA with the JIT-friendly engine (no interference
+    # graph, no liveness sets, linear congruence-class checks).
     tracker = AllocationTracker()
-    result = destruct_ssa(function, engine_by_name("us_i_linear_intercheck_livecheck"),
-                          tracker=tracker)
+    pipeline = Pipeline.for_engine(
+        "us_i_linear_intercheck_livecheck",
+        construct_ssa=True, optimize=True, abi=True,
+    )
+    print("=== pipeline ===")
+    print(pipeline.describe())
+    result = pipeline.run(function, tracker=tracker)
+    print()
     print("=== final code ===")
     print(format_function(function))
 
@@ -85,6 +84,9 @@ def main() -> None:
     print("constant materialisations    :", counts.constant_moves)
     print("translation time             : %.3f ms" % (result.stats.elapsed_seconds * 1e3))
     print("analysis memory (peak bytes) :", tracker.peak())
+    print("per-pass times (ms)          :", ", ".join(
+        "%s %.3f" % (name, seconds * 1e3) for name, seconds in result.pass_seconds.items()
+    ))
 
     after = run_function(function, [3, 4])
     assert after.observable() == reference.observable()

@@ -2,17 +2,34 @@
 Correctness, Code Quality, and Efficiency" (Boissinot, Darte, Rastello,
 Dupont de Dinechin, Guillon — CGO 2009).
 
-The package is organised in small sub-packages (see README.md / DESIGN.md);
-this top-level module re-exports the handful of entry points most users need:
+The package is organised in small sub-packages (see README.md / DESIGN.md).
+The whole SSA → out-of-SSA stack runs as a *pass pipeline* over a *shared
+analysis cache*:
 
 * building / parsing programs: :class:`~repro.ir.builder.FunctionBuilder`,
   :func:`~repro.ir.parser.parse_function`, :func:`~repro.ir.printer.format_function`;
-* bringing code to (non-conventional) SSA: :func:`~repro.ssa.construction.construct_ssa`,
-  :func:`~repro.ssa.copy_folding.fold_copies`, :func:`~repro.ssa.copy_folding.value_number`;
-* leaving SSA: :func:`~repro.outofssa.driver.destruct_ssa` with
-  :data:`~repro.outofssa.driver.ENGINE_CONFIGURATIONS` (the paper's Figure 6/7
-  engines) and the Figure 5 coalescing strategies in
-  :data:`~repro.coalescing.variants.VARIANTS`;
+* composing a run: :class:`~repro.pipeline.Pipeline` — e.g.
+  ``Pipeline.for_engine("us_i", construct_ssa=True, optimize=True).run(fn)``
+  chains SSA construction, the conventionality-breaking optimizations and the
+  paper's four out-of-SSA phases (isolation, interference, coalescing,
+  materialization) as introspectable passes; each pass declares which analyses
+  (dominator tree, variable numbering, liveness, intersection, SSA values,
+  block frequencies) it preserves and the
+  :class:`~repro.pipeline.AnalysisCache` invalidates the rest, so one
+  :class:`~repro.liveness.numbering.VariableNumbering` instance backs both the
+  bit-set liveness rows and the interference bit-matrix of a run;
+* configuring engines: the seven Figure 6/7 configurations in
+  :data:`~repro.outofssa.config.ENGINE_CONFIGURATIONS`
+  (:func:`~repro.outofssa.config.engine_by_name`), custom ones via the fluent
+  :class:`~repro.outofssa.config.EngineConfigBuilder`
+  (``EngineConfig.builder("us_i").liveness("sets").build()``), and the
+  Figure 5 coalescing strategies in :data:`~repro.coalescing.variants.VARIANTS`;
+* batch translation: :class:`~repro.pipeline.Session` —
+  ``Session("us_i").translate_many(functions)`` reuses one pipeline across a
+  whole suite with per-function allocation trackers (what the benchmark
+  harness runs on);
+* one-shot convenience: :func:`~repro.outofssa.driver.destruct_ssa`, a thin
+  wrapper over the pipeline kept for backward compatibility;
 * checking behaviour: :func:`~repro.interp.interpreter.run_function`;
 * regenerating the paper's experiments: :mod:`repro.bench`.
 """
@@ -25,16 +42,19 @@ from repro.interp.interpreter import run_function
 from repro.outofssa.driver import (
     DEFAULT_ENGINE,
     ENGINE_CONFIGURATIONS,
+    LIVENESS_BACKENDS,
     EngineConfig,
+    EngineConfigBuilder,
     OutOfSSAResult,
     destruct_ssa,
     engine_by_name,
 )
+from repro.pipeline import AnalysisCache, Pass, PassManager, Pipeline, Session
 from repro.coalescing.variants import VARIANTS, variant_by_name
 from repro.ssa.construction import construct_ssa
 from repro.ssa.copy_folding import fold_copies, value_number
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Function",
@@ -45,9 +65,16 @@ __all__ = [
     "destruct_ssa",
     "DEFAULT_ENGINE",
     "ENGINE_CONFIGURATIONS",
+    "LIVENESS_BACKENDS",
     "EngineConfig",
+    "EngineConfigBuilder",
     "OutOfSSAResult",
     "engine_by_name",
+    "AnalysisCache",
+    "Pass",
+    "PassManager",
+    "Pipeline",
+    "Session",
     "VARIANTS",
     "variant_by_name",
     "construct_ssa",

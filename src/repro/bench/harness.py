@@ -6,35 +6,39 @@ function, and returns one row per benchmark (plus a ``sum`` row, as in the
 paper's plots).  The rows carry both raw values and the normalised ratios the
 paper plots (Figure 5 normalises to the ``Intersect`` strategy, Figures 6 and
 7 to the ``Sreedhar III`` engine).
+
+Every experiment batches through one :class:`~repro.pipeline.Session` per
+engine, so suite-level state (the resolved pipeline and its pass objects) is
+built once and each function still gets its own allocation tracker.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bench.memory import MemoryFootprint, footprint_of
 from repro.bench.metrics import CopyCounts, copy_counts
-from repro.cfg.frequency import estimate_block_frequencies
 from repro.coalescing.variants import VARIANTS, CoalescingVariant
 from repro.ir.function import Function
-from repro.outofssa.driver import (
-    ENGINE_CONFIGURATIONS,
-    EngineConfig,
-    destruct_ssa,
-)
+from repro.outofssa.config import ENGINE_CONFIGURATIONS, EngineConfig
+from repro.pipeline import Session
 
 
-# --------------------------------------------------------------------------- Figure 5
-#: Engine template used to compare the coalescing strategies of Figure 5: no
-#: interference graph, liveness checking, quadratic class checks (valid for
-#: every interference notion).
-_FIGURE5_TEMPLATE = dict(
-    liveness="check",
-    use_interference_graph=False,
-    linear_class_check=False,
-)
+def _figure5_engine(variant: CoalescingVariant) -> EngineConfig:
+    """Engine used to compare the Figure 5 coalescing strategies: no
+    interference graph, liveness checking, quadratic class checks (valid for
+    every interference notion)."""
+    return (
+        EngineConfig.builder()
+        .name(f"figure5_{variant.name}")
+        .label(variant.label)
+        .coalescing(variant.name)
+        .liveness("check")
+        .interference_graph(False)
+        .linear_class_check(False)
+        .build()
+    )
 
 
 @dataclass
@@ -60,19 +64,14 @@ def run_figure5(
     rows: List[Figure5Row] = []
     totals: Dict[str, CopyCounts] = {variant.name: CopyCounts() for variant in variants}
 
+    sessions = {variant.name: Session(_figure5_engine(variant)) for variant in variants}
     for benchmark, functions in suite.items():
         row = Figure5Row(benchmark=benchmark)
         for variant in variants:
-            config = EngineConfig(
-                name=f"figure5_{variant.name}",
-                label=variant.label,
-                coalescing=variant.name,
-                **_FIGURE5_TEMPLATE,
-            )
+            copies = [function.copy() for function in functions]
+            sessions[variant.name].translate_many(copies)
             counts = CopyCounts()
-            for function in functions:
-                copy = function.copy()
-                destruct_ssa(copy, config)
+            for copy in copies:
                 counts = counts + copy_counts(copy)
             row.static_copies[variant.name] = counts.static_copies
             row.weighted_copies[variant.name] = counts.weighted_copies
@@ -113,17 +112,15 @@ def run_figure6(
     rows: List[Figure6Row] = []
     totals: Dict[str, float] = {engine.name: 0.0 for engine in engines}
 
+    sessions = {engine.name: Session(engine) for engine in engines}
     for benchmark, functions in suite.items():
         row = Figure6Row(benchmark=benchmark)
         for engine in engines:
+            session = sessions[engine.name]
             best = None
             for _ in range(max(1, repeats)):
-                elapsed = 0.0
-                for function in functions:
-                    copy = function.copy()
-                    start = time.perf_counter()
-                    destruct_ssa(copy, engine)
-                    elapsed += time.perf_counter() - start
+                results = session.translate_many(function.copy() for function in functions)
+                elapsed = sum(result.stats.elapsed_seconds for result in results)
                 best = elapsed if best is None else min(best, elapsed)
             row.seconds[engine.name] = best or 0.0
             totals[engine.name] += best or 0.0
@@ -160,12 +157,12 @@ def run_figure7(
     """Memory footprint (maximum and total) per engine configuration."""
     maxima: Dict[str, int] = {engine.name: 0 for engine in engines}
     totals: Dict[str, MemoryFootprint] = {engine.name: MemoryFootprint() for engine in engines}
+    sessions = {engine.name: Session(engine) for engine in engines}
 
     for functions in suite.values():
         for function in functions:
             for engine in engines:
-                copy = function.copy()
-                result = destruct_ssa(copy, engine)
+                result = sessions[engine.name].translate(function.copy())
                 footprint = footprint_of(result)
                 totals[engine.name] = totals[engine.name] + footprint
                 maxima[engine.name] = max(maxima[engine.name], footprint.measured_peak)

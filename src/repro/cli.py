@@ -5,20 +5,22 @@ Commands
 ``translate``
     Parse a textual IR file, (optionally) build SSA and run the CSSA-breaking
     optimizations, translate out of SSA with a chosen engine/strategy, and
-    print the resulting code plus statistics.
+    print the resulting code plus statistics.  The whole run is one
+    :class:`~repro.pipeline.Pipeline`.
 ``run``
     Interpret a textual IR file on the given integer arguments and print its
     observable behaviour.
 ``bench``
-    Regenerate one of the paper's figures (5, 6 or 7) on the synthetic suite.
+    Regenerate one of the paper's figures (5, 6 or 7) on the synthetic suite
+    (batched through :class:`~repro.pipeline.Session`).
 ``list``
-    List the available engine configurations and coalescing strategies.
+    List the available engine configurations, coalescing strategies and
+    liveness backends.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 from typing import List, Optional, Sequence
 
@@ -29,9 +31,13 @@ from repro.bench.suite import SUITE, build_suite
 from repro.coalescing.variants import VARIANTS
 from repro.interp import run_function
 from repro.ir import format_function, parse_function
-from repro.outofssa import apply_calling_convention, destruct_ssa
-from repro.outofssa.driver import ENGINE_CONFIGURATIONS, EngineConfig, engine_by_name
-from repro.ssa import construct_ssa, fold_copies, remove_dead_code, value_number
+from repro.outofssa.config import (
+    ENGINE_CONFIGURATIONS,
+    LIVENESS_BACKENDS,
+    EngineConfig,
+    engine_by_name,
+)
+from repro.pipeline import Pipeline
 
 
 def _load_function(path: str):
@@ -46,40 +52,52 @@ def _parse_args_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",")]
 
 
+def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
+    """Resolve ``--engine`` / ``--variant`` / ``--liveness`` into one config.
+
+    Unknown names raise :class:`SystemExit` with the lookup error's message,
+    so the user sees "unknown engine 'x'; known engines: ..." instead of a
+    traceback.
+    """
+    try:
+        if args.variant:
+            builder = (
+                EngineConfig.builder()
+                .name(f"cli_{args.variant}")
+                .label(args.variant)
+                .coalescing(args.variant)
+                .liveness("check")
+                .interference_graph(False)
+                .linear_class_check(False)
+            )
+        else:
+            builder = EngineConfig.builder(engine_by_name(args.engine))
+        if args.liveness:
+            builder.liveness(args.liveness)
+        return builder.build()
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"repro translate: {message}") from None
+
+
 # --------------------------------------------------------------------------- commands
 def command_translate(args: argparse.Namespace) -> int:
+    config = _resolve_engine_config(args)
     function = _load_function(args.file)
 
-    if args.construct_ssa:
-        construct_ssa(function)
-        if args.optimize:
-            value_number(function)
-            fold_copies(function)
-            remove_dead_code(function)
-    if args.abi:
-        apply_calling_convention(function)
-
-    if args.variant:
-        config = EngineConfig(
-            name=f"cli_{args.variant}", label=args.variant, coalescing=args.variant,
-            liveness="check", use_interference_graph=False, linear_class_check=False,
-        )
-    else:
-        config = engine_by_name(args.engine)
-    if args.liveness:
-        config = dataclasses.replace(
-            config,
-            name=f"{config.name}_{args.liveness}",
-            label=f"{config.label} [{args.liveness}]",
-            liveness=args.liveness,
-        )
-
-    result = destruct_ssa(function, config)
+    pipeline = Pipeline.for_engine(
+        config,
+        construct_ssa=args.construct_ssa,
+        optimize=args.construct_ssa and args.optimize,
+        abi=args.abi,
+    )
+    result = pipeline.run(function)
     print(format_function(function), end="")
 
     if args.stats:
         counts = copy_counts(function)
         print(f"# engine               : {result.config.label}", file=sys.stderr)
+        print(f"# pipeline             : {pipeline.describe()}", file=sys.stderr)
         print(f"# phi copies inserted  : {result.stats.inserted_phi_copies}", file=sys.stderr)
         print(f"# copies coalesced     : {result.stats.coalesced}", file=sys.stderr)
         print(f"# copies remaining     : {counts.static_copies}", file=sys.stderr)
@@ -101,7 +119,11 @@ def command_bench(args: argparse.Namespace) -> int:
     names = None
     if args.benchmarks != "all":
         names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
-    suite = build_suite(scale=args.scale, benchmarks=names)
+    try:
+        suite = build_suite(scale=args.scale, benchmarks=names)
+    except KeyError as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"repro bench: {message}") from None
     if args.figure == 5:
         print(format_figure5(run_figure5(suite)))
     elif args.figure == 6:
@@ -121,6 +143,10 @@ def command_list(_args: argparse.Namespace) -> int:
     print("coalescing strategies (Figure 5):")
     for variant in VARIANTS:
         print(f"  {variant.name:14s} {variant.label}")
+    print()
+    print("liveness backends (--liveness):")
+    for kind, description in LIVENESS_BACKENDS.items():
+        print(f"  {kind:14s} {description}")
     print()
     print("synthetic benchmarks:")
     for spec in SUITE:
@@ -142,9 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="engine configuration name (see 'repro list')")
     translate.add_argument("--variant", default=None,
                            help="coalescing strategy name (overrides --engine's strategy)")
-    translate.add_argument("--liveness", default=None, choices=("sets", "bitsets", "check"),
-                           help="liveness backend: ordered sets, bit-set worklist, or "
-                                "liveness checking (overrides the engine's backend)")
+    translate.add_argument("--liveness", default=None,
+                           help="liveness backend (see 'repro list'): ordered sets, bit-set "
+                                "worklist, or liveness checking (overrides the engine's backend)")
     translate.add_argument("--construct-ssa", action="store_true",
                            help="build SSA first (for non-SSA input files)")
     translate.add_argument("--optimize", action="store_true",
@@ -165,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--benchmarks", default="164.gzip,176.gcc,254.gap")
     bench.set_defaults(handler=command_bench)
 
-    listing = sub.add_parser("list", help="list engines, strategies and benchmarks")
+    listing = sub.add_parser("list", help="list engines, strategies, liveness backends, benchmarks")
     listing.set_defaults(handler=command_list)
     return parser
 

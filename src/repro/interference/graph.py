@@ -26,42 +26,64 @@ from repro.utils.instrument import current_tracker
 class InterferenceGraph:
     """Half bit-matrix over an (extensible) universe of variables.
 
-    Variable-to-index mapping is a
+    Variable identity comes from a
     :class:`~repro.liveness.numbering.VariableNumbering` — the same dense,
-    append-only numbering the bit-set liveness backend uses — so both bit
-    structures agree on what "variable i" means when they are built over the
-    same universe.
+    append-only numbering the bit-set liveness backend uses — and an existing
+    numbering can be passed in (the pipeline shares one instance between the
+    liveness rows and this matrix, so it is built only once per run).  A
+    shared numbering covers variables outside the graph's restricted universe,
+    so matrix *rows* are addressed through a private dense slot table: the
+    matrix stays at the paper's ``candidates²/2`` bits regardless of how many
+    variables the shared numbering knows, and queries about non-universe
+    variables report "not in the graph" and fall back to the pairwise test.
     """
 
-    def __init__(self, universe: Iterable[Variable] = ()) -> None:
-        self._numbering = VariableNumbering()
+    def __init__(
+        self,
+        universe: Iterable[Variable] = (),
+        numbering: Optional[VariableNumbering] = None,
+    ) -> None:
+        self._numbering = numbering if numbering is not None else VariableNumbering()
+        self._slot_of: dict = {}              #: numbering index -> dense matrix slot
+        self._slot_vars: List[Variable] = []  #: dense matrix slot -> variable
         self._matrix = BitMatrix()
         for var in universe:
             self.add_variable(var)
 
     # -- universe management -------------------------------------------------------
     def add_variable(self, var: Variable) -> int:
-        """Add ``var`` to the universe (idempotent); return its index."""
-        numbering = self._numbering
-        before = len(numbering)
-        index = numbering.ensure(var)
-        if index < before:          # already numbered: single-lookup fast path
-            return index
+        """Add ``var`` to the universe (idempotent); return its matrix slot."""
+        index = self._numbering.ensure(var)
+        slot = self._slot_of.get(index)
+        if slot is not None:        # already a member: single-lookup fast path
+            return slot
+        slot = len(self._slot_vars)
+        self._slot_of[index] = slot
+        self._slot_vars.append(var)
         old_bytes = self._matrix.footprint_bytes()
-        self._matrix.grow(index + 1)
+        self._matrix.grow(slot + 1)
         tracker = current_tracker()
         if tracker is not None:
             tracker.resize("interference_graph", old_bytes, self._matrix.footprint_bytes())
-        return index
+        return slot
+
+    def _slot(self, var: Variable) -> Optional[int]:
+        index = self._numbering.get(var)
+        return self._slot_of.get(index) if index is not None else None
+
+    @property
+    def numbering(self) -> VariableNumbering:
+        """The (possibly shared) variable numbering providing identity."""
+        return self._numbering
 
     def __contains__(self, var: Variable) -> bool:
-        return var in self._numbering
+        return self._slot(var) is not None
 
     def variables(self) -> List[Variable]:
-        return list(self._numbering)
+        return list(self._slot_vars)
 
     def __len__(self) -> int:
-        return len(self._numbering)
+        return len(self._slot_vars)
 
     # -- edges ------------------------------------------------------------------------
     def add_edge(self, a: Variable, b: Variable) -> None:
@@ -70,23 +92,23 @@ class InterferenceGraph:
         self._matrix.set(self.add_variable(a), self.add_variable(b))
 
     def interferes(self, a: Variable, b: Variable) -> bool:
-        index_a = self._numbering.get(a)
-        index_b = self._numbering.get(b)
-        if index_a is None or index_b is None or index_a == index_b:
+        slot_a = self._slot(a)
+        slot_b = self._slot(b)
+        if slot_a is None or slot_b is None or slot_a == slot_b:
             return False
-        return self._matrix.test(index_a, index_b)
+        return self._matrix.test(slot_a, slot_b)
 
     def neighbours(self, var: Variable) -> List[Variable]:
-        index = self._numbering.get(var)
-        if index is None:
+        slot = self._slot(var)
+        if slot is None:
             return []
-        variable = self._numbering.variable
-        return [variable(other) for other in self._matrix.neighbours(index)]
+        slot_vars = self._slot_vars
+        return [slot_vars[other] for other in self._matrix.neighbours(slot)]
 
     def edge_count(self) -> int:
         return sum(
             1
-            for i in range(len(self._numbering))
+            for i in range(len(self._slot_vars))
             for j in range(i)
             if self._matrix.test(i, j)
         )
@@ -106,6 +128,7 @@ class InterferenceGraph:
         function: Function,
         test: InterferenceTest,
         universe: Optional[Iterable[Variable]] = None,
+        numbering: Optional[VariableNumbering] = None,
     ) -> "InterferenceGraph":
         """Reference construction: test every pair of the universe.
 
@@ -113,7 +136,7 @@ class InterferenceGraph:
         construction the engines use.
         """
         candidates = list(universe) if universe is not None else function.variables()
-        graph = cls(candidates)
+        graph = cls(candidates, numbering=numbering)
         for i, a in enumerate(candidates):
             for b in candidates[i + 1:]:
                 if test.interferes(a, b):
@@ -126,6 +149,7 @@ class InterferenceGraph:
         function: Function,
         test: InterferenceTest,
         universe: Optional[Iterable[Variable]] = None,
+        numbering: Optional[VariableNumbering] = None,
     ) -> "InterferenceGraph":
         """Build the graph by one backward scan per block ("costly traversal of
         the program", §IV): at every definition point, the defined variables
@@ -143,7 +167,7 @@ class InterferenceGraph:
         liveness = test.oracle.liveness
         candidates = list(universe) if universe is not None else function.variables()
         in_universe = set(candidates)
-        graph = cls(candidates)
+        graph = cls(candidates, numbering=numbering)
         kind = test.kind
 
         # With the bit-set liveness backend the per-block "universe variables

@@ -24,7 +24,7 @@ live-in of the φ's block) and φ-results are defined at the top of their block.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cfg.traversal import reverse_postorder
 from repro.ir.function import Function
@@ -41,9 +41,20 @@ class BitLivenessSets(LivenessOracle):
     #: Allocation-tracker category of the long-lived rows (Figure 7 bars).
     category = "liveness_bitsets"
 
-    def __init__(self, function: Function) -> None:
+    def __init__(
+        self, function: Function, numbering: Optional[VariableNumbering] = None
+    ) -> None:
+        """``numbering`` lets one dense numbering be shared with the
+        interference bit-matrix (the ROADMAP follow-up): when given, the
+        function's variables are appended to it instead of numbering them into
+        a private instance."""
         super().__init__(function)
-        self.numbering = VariableNumbering.of_function(function)
+        if numbering is None:
+            numbering = VariableNumbering.of_function(function)
+        else:
+            for var in function.variables():
+                numbering.ensure(var)
+        self.numbering = numbering
         self._universe = len(self.numbering)
         self.live_in: Dict[str, BitSet] = {}
         self.live_out: Dict[str, BitSet] = {}

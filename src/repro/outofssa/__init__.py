@@ -16,10 +16,15 @@
 """
 
 from repro.outofssa.driver import (
-    EngineConfig,
-    OutOfSSAResult,
-    destruct_ssa,
+    DEFAULT_ENGINE,
     ENGINE_CONFIGURATIONS,
+    LIVENESS_BACKENDS,
+    EngineConfig,
+    EngineConfigBuilder,
+    OutOfSSAResult,
+    OutOfSSAStats,
+    destruct_ssa,
+    engine_by_name,
 )
 from repro.outofssa.method_i import IsolationError, insert_phi_copies
 from repro.outofssa.naive import naive_destruction
@@ -27,9 +32,14 @@ from repro.outofssa.parallel_copy import sequentialize_parallel_copy
 from repro.outofssa.pinning import apply_calling_convention
 
 __all__ = [
+    "DEFAULT_ENGINE",
     "EngineConfig",
+    "EngineConfigBuilder",
+    "LIVENESS_BACKENDS",
     "OutOfSSAResult",
+    "OutOfSSAStats",
     "destruct_ssa",
+    "engine_by_name",
     "ENGINE_CONFIGURATIONS",
     "IsolationError",
     "insert_phi_copies",

@@ -17,6 +17,13 @@
    representative, φ-functions disappear, the surviving parallel-copy
    components are sequentialized (Algorithm 1) and identity copies dropped.
 
+Since the pipeline redesign the phases live as pass objects in
+:mod:`repro.pipeline.phases` over a shared
+:class:`~repro.pipeline.analysis.AnalysisCache`; ``destruct_ssa`` is a thin
+wrapper over ``Pipeline.for_engine(config).run(function)`` kept for backward
+compatibility, and this module re-exports the configuration and result types
+from :mod:`repro.outofssa.config` / :mod:`repro.outofssa.result`.
+
 Engine *configurations* (which liveness oracle, whether a graph is built,
 whether the linear class check is used, which coalescing variant and
 processing order) reproduce the seven bars of Figures 6 and 7.
@@ -24,207 +31,33 @@ processing order) reproduce the seven bars of Figures 6 and 7.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.cfg.dominance import DominatorTree
-from repro.cfg.frequency import estimate_block_frequencies
-from repro.coalescing.engine import Affinity, AggressiveCoalescer, collect_affinities
-from repro.coalescing.sharing import apply_copy_sharing
-from repro.coalescing.variants import CoalescingVariant, variant_by_name
-from repro.interference.congruence import CongruenceClasses
-from repro.interference.definitions import InterferenceKind, InterferenceTest
-from repro.interference.graph import InterferenceGraph
 from repro.ir.function import Function
-from repro.ir.instructions import (
-    Constant,
-    Copy,
-    ParallelCopy,
-    Phi,
-    Variable,
+from repro.outofssa.config import (
+    DEFAULT_ENGINE,
+    ENGINE_CONFIGURATIONS,
+    LIVENESS_BACKENDS,
+    EngineConfig,
+    EngineConfigBuilder,
+    engine_by_name,
 )
-from repro.liveness.base import LivenessOracle
-from repro.liveness.bitsets import BitLivenessSets
-from repro.liveness.dataflow import LivenessSets
-from repro.liveness.livecheck import LivenessChecker
-from repro.outofssa.method_i import PhiCopyInsertion, insert_phi_copies
-from repro.outofssa.parallel_copy import sequentialize_parallel_copy
-from repro.outofssa.pinning import pinned_register_groups
-from repro.ssa.values import ValueTable
-from repro.utils.instrument import AllocationTracker, track_allocations
+from repro.outofssa.result import OutOfSSAResult, OutOfSSAStats
+from repro.utils.instrument import AllocationTracker
 
-
-# --------------------------------------------------------------------------- config
-@dataclass(frozen=True)
-class EngineConfig:
-    """One out-of-SSA engine configuration (a bar of Figures 6/7)."""
-
-    name: str
-    label: str
-    #: Figure 5 coalescing variant driving interference notion / ordering.
-    coalescing: str = "value"
-    #: Liveness backend: "sets" (ordered-set data-flow, the reference
-    #: implementation), "bitsets" (bit-set rows + worklist, the encoding
-    #: Figure 7 evaluates) or "check" (liveness checking, no global sets).
-    liveness: str = "bitsets"
-    #: Build an explicit interference graph (bit-matrix) or answer pairwise
-    #: queries directly ("InterCheck").
-    use_interference_graph: bool = True
-    #: Use the linear congruence-class interference check instead of the
-    #: quadratic all-pairs one.
-    linear_class_check: bool = False
-    #: What to do when a φ-argument is defined by the predecessor's terminator.
-    on_branch_def: str = "split"
-
-    def describe(self) -> str:
-        parts = [variant_by_name(self.coalescing).label]
-        liveness_labels = {
-            "sets": "ordered liveness sets",
-            "bitsets": "bit-set liveness",
-            "check": "LiveCheck",
-        }
-        parts.append(liveness_labels.get(self.liveness, self.liveness))
-        parts.append("interference graph" if self.use_interference_graph else "InterCheck")
-        parts.append("linear class check" if self.linear_class_check else "quadratic class check")
-        return ", ".join(parts)
-
-
-#: The seven engine configurations of the paper's Figure 6 / Figure 7.
-ENGINE_CONFIGURATIONS: List[EngineConfig] = [
-    EngineConfig(
-        name="sreedhar_iii", label="Sreedhar III", coalescing="sreedhar_iii",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
-    ),
-    EngineConfig(
-        name="us_iii", label="Us III", coalescing="value_is",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
-    ),
-    EngineConfig(
-        name="us_iii_intercheck", label="Us III + InterCheck", coalescing="value_is",
-        liveness="bitsets", use_interference_graph=False, linear_class_check=False,
-    ),
-    EngineConfig(
-        name="us_iii_intercheck_livecheck", label="Us III + InterCheck + LiveCheck",
-        coalescing="value_is", liveness="check", use_interference_graph=False,
-        linear_class_check=False,
-    ),
-    EngineConfig(
-        name="us_iii_linear_intercheck_livecheck",
-        label="Us III + Linear + InterCheck + LiveCheck", coalescing="value_is",
-        liveness="check", use_interference_graph=False, linear_class_check=True,
-    ),
-    EngineConfig(
-        name="us_i", label="Us I", coalescing="value",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
-    ),
-    EngineConfig(
-        name="us_i_linear_intercheck_livecheck",
-        label="Us I + Linear + InterCheck + LiveCheck", coalescing="value",
-        liveness="check", use_interference_graph=False, linear_class_check=True,
-    ),
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_CONFIGURATIONS",
+    "LIVENESS_BACKENDS",
+    "EngineConfig",
+    "EngineConfigBuilder",
+    "OutOfSSAResult",
+    "OutOfSSAStats",
+    "destruct_ssa",
+    "engine_by_name",
 ]
 
-_CONFIG_BY_NAME = {config.name: config for config in ENGINE_CONFIGURATIONS}
 
-
-def engine_by_name(name: str) -> EngineConfig:
-    """Look up a Figure 6/7 engine configuration by name."""
-    try:
-        return _CONFIG_BY_NAME[name]
-    except KeyError:
-        known = ", ".join(sorted(_CONFIG_BY_NAME))
-        raise KeyError(f"unknown engine {name!r}; known engines: {known}") from None
-
-
-DEFAULT_ENGINE = _CONFIG_BY_NAME["us_i_linear_intercheck_livecheck"]
-
-
-# --------------------------------------------------------------------------- result
-@dataclass
-class OutOfSSAStats:
-    """Counters describing one translation run."""
-
-    inserted_phi_copies: int = 0
-    affinities: int = 0
-    coalesced: int = 0
-    shared: int = 0
-    remaining_copies: int = 0          #: variable-to-variable copies in the output
-    constant_moves: int = 0            #: copies materializing constants
-    sequentialization_temps: int = 0   #: extra cycle-breaking temporaries
-    dynamic_copy_cost: float = 0.0     #: frequency-weighted remaining copies
-    pair_queries: int = 0
-    intersection_queries: int = 0
-    split_blocks: int = 0
-    elapsed_seconds: float = 0.0
-    # Inputs to the Figure 7 "evaluated" memory formulas.
-    num_blocks: int = 0                #: blocks after copy insertion / splitting
-    candidate_variables: int = 0       #: φ-related + copy-related variables
-    liveness_set_entries: int = 0      #: total entries of live-in/out ordered sets
-
-
-@dataclass
-class OutOfSSAResult:
-    """Everything produced by :func:`destruct_ssa`."""
-
-    function: Function
-    config: EngineConfig
-    stats: OutOfSSAStats
-    tracker: AllocationTracker
-    rename_map: Dict[Variable, Variable] = field(default_factory=dict)
-
-    @property
-    def memory_total_bytes(self) -> int:
-        return self.tracker.total()
-
-    @property
-    def memory_peak_bytes(self) -> int:
-        return self.tracker.peak()
-
-
-# --------------------------------------------------------------------------- helpers
-class _GraphBackedInterferenceTest(InterferenceTest):
-    """Pairwise interference answered from a pre-built bit-matrix graph."""
-
-    def __init__(self, base: InterferenceTest, graph: InterferenceGraph) -> None:
-        super().__init__(base.function, base.oracle, base.kind, base.values)
-        self.graph = graph
-
-    def interferes(self, a: Variable, b: Variable) -> bool:
-        if a in self.graph and b in self.graph:
-            return self.graph.interferes(a, b)
-        return super().interferes(a, b)
-
-
-def _make_liveness(function: Function, kind: str) -> LivenessOracle:
-    if kind == "sets":
-        return LivenessSets(function)
-    if kind == "bitsets":
-        return BitLivenessSets(function)
-    if kind == "check":
-        return LivenessChecker(function)
-    raise ValueError(f"unknown liveness oracle kind {kind!r}")
-
-
-def _candidate_universe(
-    function: Function,
-    insertion: PhiCopyInsertion,
-    affinities: List[Affinity],
-) -> List[Variable]:
-    """The φ-related and copy-related variables (the paper's restricted universe)."""
-    seen: Dict[Variable, None] = {}
-    for members in insertion.phi_nodes:
-        for var in members:
-            seen.setdefault(var, None)
-    for affinity in affinities:
-        seen.setdefault(affinity.dst, None)
-        seen.setdefault(affinity.src, None)
-    for var in function.pinned:
-        seen.setdefault(var, None)
-    return list(seen)
-
-
-# --------------------------------------------------------------------------- driver
 def destruct_ssa(
     function: Function,
     config: EngineConfig = DEFAULT_ENGINE,
@@ -235,172 +68,15 @@ def destruct_ssa(
 
     The input must be strict SSA (possibly non-conventional); the output is an
     ordinary (non-SSA) function with no φ-functions and no parallel copies.
+
+    This is the pipeline run ``Pipeline.for_engine(config).run(...)``; use
+    :class:`repro.pipeline.Pipeline` directly for pass-level control and
+    :class:`repro.pipeline.Session` to translate many functions.
     """
-    tracker = tracker if tracker is not None else AllocationTracker()
-    stats = OutOfSSAStats()
-    start = time.perf_counter()
-    variant = variant_by_name(config.coalescing)
+    # Imported per-call: repro.pipeline imports this package's submodules, so
+    # a module-level import here would break `import repro.pipeline` entry.
+    from repro.pipeline.pipeline import Pipeline
 
-    with track_allocations(tracker):
-        # Phase 1 — isolation: Method I parallel copies + φ-node classes.
-        insertion = insert_phi_copies(function, on_branch_def=config.on_branch_def)
-        stats.inserted_phi_copies = insertion.inserted_copy_count
-        stats.split_blocks = len(insertion.split_blocks)
-
-        frequencies = frequencies or estimate_block_frequencies(function)
-
-        # Phase 2 — analyses.
-        domtree = DominatorTree(function)
-        liveness = _make_liveness(function, config.liveness)
-        from repro.liveness.intersection import IntersectionOracle
-
-        oracle = IntersectionOracle(function, liveness, domtree)
-        values = ValueTable(function, domtree)
-        test = InterferenceTest(function, oracle, variant.interference, values)
-
-        affinities = collect_affinities(function, insertion, frequencies)
-        stats.affinities = len(affinities)
-
-        universe = _candidate_universe(function, insertion, affinities)
-        stats.candidate_variables = len(universe)
-        stats.num_blocks = len(function.blocks)
-        if isinstance(liveness, (LivenessSets, BitLivenessSets)):
-            stats.liveness_set_entries = sum(
-                len(s) for s in liveness.live_in.values()
-            ) + sum(len(s) for s in liveness.live_out.values())
-
-        if config.use_interference_graph:
-            graph = InterferenceGraph.build(function, test, universe)
-            test = _GraphBackedInterferenceTest(test, graph)
-
-        classes = CongruenceClasses(oracle, test, use_linear_check=config.linear_class_check)
-
-        # Pre-coalesce φ-nodes and register-pinned groups.
-        for members in insertion.phi_nodes:
-            classes.make_class(members)
-        for register, group in pinned_register_groups(function).items():
-            existing = [var for var in group]
-            classes.make_class(existing, register=register)
-
-        # Phase 3 — aggressive coalescing (+ optional sharing).
-        coalescer = AggressiveCoalescer(
-            classes, skip_copy_pair=variant.skip_copy_pair, ordering=variant.ordering
-        )
-        run_stats = coalescer.run(affinities)
-        stats.coalesced = run_stats.coalesced
-        if variant.sharing:
-            stats.shared = apply_copy_sharing(
-                function, classes, test, run_stats.remaining_affinities
-            )
-
-        # Phase 4 — materialization.
-        rename_map = _build_rename_map(function, classes)
-        shared_destinations = {
-            affinity.dst for affinity in run_stats.remaining_affinities if affinity.shared
-        }
-        _materialize(function, rename_map, shared_destinations, frequencies, stats)
-
-        stats.pair_queries = classes.pair_queries
-        stats.intersection_queries = oracle.query_count
-
-    stats.elapsed_seconds = time.perf_counter() - start
-    return OutOfSSAResult(
-        function=function, config=config, stats=stats, tracker=tracker, rename_map=rename_map
+    return Pipeline.for_engine(config).run(
+        function, frequencies=frequencies, tracker=tracker
     )
-
-
-# --------------------------------------------------------------------------- materialization
-def _build_rename_map(
-    function: Function, classes: CongruenceClasses
-) -> Dict[Variable, Variable]:
-    mapping: Dict[Variable, Variable] = {}
-    for var in function.variables():
-        representative = classes.representative(var) if classes.same_class(var, var) else var
-        if representative != var:
-            mapping[var] = representative
-    return mapping
-
-
-def _renamed(var: Variable, mapping: Dict[Variable, Variable]) -> Variable:
-    return mapping.get(var, var)
-
-
-def _materialize(
-    function: Function,
-    mapping: Dict[Variable, Variable],
-    shared_destinations,
-    frequencies: Dict[str, float],
-    stats: OutOfSSAStats,
-) -> None:
-    """Rename to representatives, drop φs, sequentialize surviving copies."""
-
-    def fresh() -> Variable:
-        stats.sequentialization_temps += 1
-        return function.new_variable("swap")
-
-    def lower_pcopy(pcopy: ParallelCopy, block_label: str) -> List[Copy]:
-        pairs = []
-        seen_dsts = set()
-        for dst, src in pcopy.pairs:
-            if dst in shared_destinations:
-                continue
-            new_dst = _renamed(dst, mapping)
-            new_src = _renamed(src, mapping) if isinstance(src, Variable) else src
-            if isinstance(new_src, Variable) and new_dst == new_src:
-                continue
-            if new_dst in seen_dsts:
-                # Duplicate destinations can only carry equal values (paper
-                # §III-C); keep the first copy.
-                continue
-            seen_dsts.add(new_dst)
-            pairs.append((new_dst, new_src))
-        copies = sequentialize_parallel_copy(pairs, fresh)
-        for copy in copies:
-            if isinstance(copy.src, Constant):
-                stats.constant_moves += 1
-            else:
-                stats.remaining_copies += 1
-                stats.dynamic_copy_cost += frequencies.get(block_label, 1.0)
-        return copies
-
-    for block in function:
-        label = block.label
-
-        # φ-functions: after renaming every operand maps to the φ-node
-        # representative, so they simply disappear.
-        block.phis = []
-
-        prefix: List[Copy] = []
-        if block.entry_pcopy is not None:
-            prefix = lower_pcopy(block.entry_pcopy, label)
-            block.entry_pcopy = None
-
-        new_body: List = []
-        for instruction in block.body:
-            if isinstance(instruction, ParallelCopy):
-                new_body.extend(lower_pcopy(instruction, label))
-                continue
-            instruction.replace_uses(mapping)  # type: ignore[arg-type]
-            instruction.replace_defs(mapping)
-            if isinstance(instruction, Copy):
-                if isinstance(instruction.src, Variable) and instruction.src == instruction.dst:
-                    continue
-                if isinstance(instruction.src, Constant):
-                    stats.constant_moves += 1
-                else:
-                    stats.remaining_copies += 1
-                    stats.dynamic_copy_cost += frequencies.get(label, 1.0)
-            new_body.append(instruction)
-
-        suffix: List[Copy] = []
-        if block.exit_pcopy is not None:
-            suffix = lower_pcopy(block.exit_pcopy, label)
-            block.exit_pcopy = None
-
-        block.body = prefix + new_body + suffix
-
-        if block.terminator is not None:
-            block.terminator.replace_uses(mapping)  # type: ignore[arg-type]
-            block.terminator.replace_defs(mapping)
-
-    function.invalidate_cfg()

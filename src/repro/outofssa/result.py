@@ -1,0 +1,59 @@
+"""Result and statistics objects of one out-of-SSA translation run.
+
+Shared by the legacy :func:`~repro.outofssa.driver.destruct_ssa` wrapper and
+the pass-based :class:`~repro.pipeline.Pipeline`, which both return the same
+:class:`OutOfSSAResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.outofssa.config import EngineConfig
+from repro.utils.instrument import AllocationTracker
+
+
+@dataclass
+class OutOfSSAStats:
+    """Counters describing one translation run."""
+
+    inserted_phi_copies: int = 0
+    affinities: int = 0
+    coalesced: int = 0
+    shared: int = 0
+    remaining_copies: int = 0          #: variable-to-variable copies in the output
+    constant_moves: int = 0            #: copies materializing constants
+    sequentialization_temps: int = 0   #: extra cycle-breaking temporaries
+    dynamic_copy_cost: float = 0.0     #: frequency-weighted remaining copies
+    pair_queries: int = 0
+    intersection_queries: int = 0
+    split_blocks: int = 0
+    elapsed_seconds: float = 0.0
+    # Inputs to the Figure 7 "evaluated" memory formulas.
+    num_blocks: int = 0                #: blocks after copy insertion / splitting
+    candidate_variables: int = 0       #: φ-related + copy-related variables
+    liveness_set_entries: int = 0      #: total entries of live-in/out ordered sets
+
+
+@dataclass
+class OutOfSSAResult:
+    """Everything produced by one out-of-SSA translation."""
+
+    function: Function
+    config: EngineConfig
+    stats: OutOfSSAStats
+    tracker: AllocationTracker
+    rename_map: Dict[Variable, Variable] = field(default_factory=dict)
+    #: Wall-clock seconds per pipeline pass (empty for ad-hoc constructions).
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def memory_total_bytes(self) -> int:
+        return self.tracker.total()
+
+    @property
+    def memory_peak_bytes(self) -> int:
+        return self.tracker.peak()

@@ -1,0 +1,66 @@
+"""Pass pipeline and shared analysis cache for the SSA → out-of-SSA stack.
+
+The subsystem has four layers:
+
+* :mod:`repro.pipeline.analysis` — :class:`AnalysisCache`, the shared analysis
+  layer with explicit ``invalidate()`` / ``preserve()`` semantics;
+* :mod:`repro.pipeline.passes` — the :class:`Pass` protocol and the SSA
+  front-half passes;
+* :mod:`repro.pipeline.phases` — the paper's four out-of-SSA phases as passes;
+* :mod:`repro.pipeline.pipeline` / :mod:`repro.pipeline.session` —
+  :class:`Pipeline` / :class:`PassManager` execution and the batch
+  :class:`Session` entry point.
+
+``destruct_ssa`` in :mod:`repro.outofssa.driver` is a thin wrapper over
+``Pipeline.for_engine(config).run(function)``.
+"""
+
+from repro.pipeline.analysis import AnalysisCache, BlockFrequencies, LIVENESS_CLASSES
+from repro.pipeline.passes import (
+    PRESERVES_ALL,
+    CallingConventionPass,
+    ConstructSSAPass,
+    FoldCopiesPass,
+    FunctionPass,
+    Pass,
+    RemoveDeadCodePass,
+    ValueNumberPass,
+)
+from repro.pipeline.phases import (
+    CoalescingPass,
+    InterferencePass,
+    IsolationPass,
+    MaterializationPass,
+    out_of_ssa_passes,
+)
+from repro.pipeline.pipeline import (
+    PassManager,
+    Pipeline,
+    PipelineContext,
+    resolve_engine,
+)
+from repro.pipeline.session import Session
+
+__all__ = [
+    "AnalysisCache",
+    "BlockFrequencies",
+    "LIVENESS_CLASSES",
+    "PRESERVES_ALL",
+    "Pass",
+    "FunctionPass",
+    "ConstructSSAPass",
+    "ValueNumberPass",
+    "FoldCopiesPass",
+    "RemoveDeadCodePass",
+    "CallingConventionPass",
+    "IsolationPass",
+    "InterferencePass",
+    "CoalescingPass",
+    "MaterializationPass",
+    "out_of_ssa_passes",
+    "PassManager",
+    "Pipeline",
+    "PipelineContext",
+    "resolve_engine",
+    "Session",
+]

@@ -67,9 +67,17 @@ class TestTranslate:
         assert "phi" not in captured.out
         assert "engine" in captured.err
 
-    def test_unknown_engine_fails(self, lost_copy_file):
-        with pytest.raises(KeyError):
+    def test_unknown_engine_is_a_clean_system_exit(self, lost_copy_file):
+        with pytest.raises(SystemExit, match="unknown engine 'bogus'"):
             main(["translate", lost_copy_file, "--engine", "bogus"])
+
+    def test_unknown_variant_is_a_clean_system_exit(self, lost_copy_file):
+        with pytest.raises(SystemExit, match="unknown coalescing variant 'bogus'"):
+            main(["translate", lost_copy_file, "--variant", "bogus"])
+
+    def test_unknown_liveness_is_a_clean_system_exit(self, lost_copy_file):
+        with pytest.raises(SystemExit, match="unknown liveness backend 'bogus'"):
+            main(["translate", lost_copy_file, "--liveness", "bogus"])
 
 
 class TestRunAndBenchAndList:
@@ -96,3 +104,14 @@ class TestRunAndBenchAndList:
         assert "us_i_linear_intercheck_livecheck" in out
         assert "sharing" in out
         assert "164.gzip" in out
+
+    def test_list_includes_liveness_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "liveness backends" in out
+        for backend in ("sets", "bitsets", "check"):
+            assert backend in out
+
+    def test_unknown_benchmark_is_a_clean_system_exit(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["bench", "--figure", "5", "--benchmarks", "nope"])
