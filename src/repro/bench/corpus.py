@@ -1,0 +1,462 @@
+"""Scalable random-CFG stress corpus and the liveness stress experiment.
+
+The synthetic SPEC stand-in (:mod:`repro.bench.suite`) is sized for whole
+out-of-SSA translations — dozens of blocks per function.  The liveness
+subsystem, however, claims to scale ("as fast as the hardware allows") and
+its three solving strategies only separate on CFGs far past the hand-built
+gallery: thousands of blocks, loops nested many levels deep, dozens of live
+variables.  This module generates exactly those *functions-as-graphs*:
+
+* :func:`generate_stress_cfg` — a deterministic (seeded) structured random
+  CFG: nested natural loops up to ``loop_depth``, if/else diamonds, straight
+  chains, with every block reading and writing a bounded pool of
+  ``variables`` (the pressure knob).  The construction is budget-driven, so
+  ``blocks=5000`` really produces ≈5000 blocks.
+* :func:`random_edit_batch` — a materialization-shaped batch of structural
+  edits (copies inserted, edges split, localized renames) applied to the
+  function *and* described as an :class:`~repro.ir.editlog.EditLog`, the way
+  the isolation/materialization passes describe their own edits.
+* :func:`run_stress` — the experiment behind ``repro stress`` and
+  ``benchmarks/test_stress_scale.py``: cold RPO-seeded solve vs cold
+  SCC-seeded solve vs incremental re-solve after the edit batch, with the
+  bit-identity of all three checked on every run.
+
+Everything is driven by a seeded :class:`random.Random`; the same spec
+always yields the same function, edits, and convergence counts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.editlog import EditLog
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Constant, Copy, Jump, Op, Return, Variable
+from repro.liveness.bitsets import BitLivenessSets
+from repro.liveness.incremental import IncrementalBitLiveness
+
+_OPCODES = ("add", "sub", "mul", "and", "or", "xor", "min", "max")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Shape of one stress CFG (all knobs deterministic under ``seed``)."""
+
+    name: str = "stress"
+    seed: int = 0
+    #: Target number of basic blocks (hit within a few percent).
+    blocks: int = 1000
+    #: Maximum loop-nest depth (diamonds may nest further).
+    loop_depth: int = 4
+    #: Per-region working-set size (pressure).  Every region (loop body,
+    #: diamond arm) works on this many variables: two inherited from its
+    #: parent region — values flow across region boundaries — and the rest
+    #: fresh, so names have the *locality* real programs have (a local edit
+    #: dirties a neighbourhood, not the world).  The function's total variable
+    #: count therefore grows with its region count, as in real code.
+    variables: int = 12
+    loop_probability: float = 0.30
+    branch_probability: float = 0.30
+    ops_per_block: int = 3
+
+    def describe(self) -> str:
+        return (
+            f"{self.blocks} blocks, depth {self.loop_depth}, "
+            f"{self.variables} variables, seed {self.seed}"
+        )
+
+
+class _StressBuilder:
+    """Budget-driven structured CFG construction."""
+
+    def __init__(self, spec: CorpusSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.function = Function(f"{spec.name}_{spec.seed}")
+        self._counter = 0
+        self._var_counter = 0
+
+    # -- variable windows ------------------------------------------------------
+    def _window(
+        self,
+        parent: Optional[List[Variable]] = None,
+        parent_initialized: Optional[Set[Variable]] = None,
+    ) -> List[Variable]:
+        """A fresh region-local working set, seeded with two (initialized)
+        parent variables so liveness flows across region boundaries."""
+        size = max(3, self.spec.variables)
+        window: List[Variable] = []
+        if parent:
+            candidates = parent
+            if parent_initialized:
+                candidates = [var for var in parent if var in parent_initialized] or parent
+            window.extend(self.rng.sample(candidates, min(2, len(candidates))))
+        while len(window) < size:
+            self._var_counter += 1
+            window.append(
+                self.function.register_variable(Variable(f"v{self._var_counter}"))
+            )
+        return window
+
+    # -- blocks ---------------------------------------------------------------
+    def _block(self, window: List[Variable], initialized: Set[Variable]) -> BasicBlock:
+        """One block reading *initialized* window variables and defining
+        window variables.  Reads never reach an uninitialized name, so every
+        variable's live range starts at a def — without this, region-local
+        names would be upward-exposed all the way to the function entry and
+        liveness would saturate (every variable live in every block), which
+        no real program exhibits."""
+        self._counter += 1
+        block = self.function.add_block(f"b{self._counter}")
+        rng = self.rng
+        pick = rng.choice
+        readable = [var for var in window if var in initialized]
+        for _ in range(rng.randint(1, self.spec.ops_per_block)):
+            dst = pick(window)
+            if not readable:
+                block.append(Op(dst, "const", [Constant(rng.randint(0, 9))]))
+            elif rng.random() < 0.2:
+                block.append(Copy(dst, pick(readable)))
+            else:
+                a = pick(readable)
+                b: object = (
+                    pick(readable) if rng.random() < 0.8 else Constant(rng.randint(0, 9))
+                )
+                block.append(Op(dst, pick(_OPCODES), [a, b]))
+            if dst not in initialized:
+                initialized.add(dst)
+                readable.append(dst)
+        return block
+
+    def _used(self) -> int:
+        return self._counter
+
+    # -- structured regions ---------------------------------------------------
+    def _chain(
+        self,
+        depth: int,
+        quota: int,
+        window: List[Variable],
+        initialized: Set[Variable],
+    ):
+        """A chain of regions; returns ``(entry_label, open_tail_block)``
+        where the tail still lacks a terminator (the caller links it).
+        ``initialized`` tracks which window variables are defined on every
+        path through the chain so far (mutated as the chain grows)."""
+        first = self._block(window, initialized)
+        entry = first.label
+        tail = first
+        start = self._used()
+        rng = self.rng
+        spec = self.spec
+        while self._used() - start < quota:
+            budget = quota - (self._used() - start)
+            roll = rng.random()
+            if depth < spec.loop_depth and budget >= 4 and roll < spec.loop_probability:
+                sub = max(2, int(budget * rng.uniform(0.3, 0.7)))
+                element_entry, element_tail = self._loop(depth + 1, sub, window, initialized)
+            elif budget >= 4 and roll < spec.loop_probability + spec.branch_probability:
+                sub = max(2, int(budget * rng.uniform(0.3, 0.7)))
+                element_entry, element_tail = self._diamond(depth + 1, sub, window, initialized)
+            else:
+                element = self._block(window, initialized)
+                element_entry, element_tail = element.label, element
+            tail.set_terminator(Jump(element_entry))
+            tail = element_tail
+        return entry, tail
+
+    def _loop(
+        self,
+        depth: int,
+        quota: int,
+        parent_window: List[Variable],
+        parent_initialized: Set[Variable],
+    ):
+        """``header -> body... -> latch -(back|exit)->``; SCC = whole loop."""
+        window = self._window(parent_window, parent_initialized)
+        initialized = {var for var in window if var in parent_initialized}
+        header = self._block(window, initialized)
+        body_entry, body_tail = self._chain(depth, max(1, quota - 3), window, initialized)
+        latch = self._block(window, initialized)
+        exit_block = self._block(window, initialized)
+        header.set_terminator(Jump(body_entry))
+        body_tail.set_terminator(Jump(latch.label))
+        latch.set_terminator(
+            Branch(self.rng.choice(sorted(initialized, key=str)), header.label, exit_block.label)
+        )
+        return header.label, exit_block
+
+    def _diamond(
+        self,
+        depth: int,
+        quota: int,
+        parent_window: List[Variable],
+        parent_initialized: Set[Variable],
+    ):
+        window = self._window(parent_window, parent_initialized)
+        initialized = {var for var in window if var in parent_initialized}
+        cond_block = self._block(window, initialized)
+        # The branch condition must be defined before the arms run.
+        cond = self.rng.choice(sorted(initialized, key=str))
+        # Each arm initializes independently; after the join only variables
+        # defined on *both* paths count as initialized.
+        then_initialized = set(initialized)
+        else_initialized = set(initialized)
+        then_entry, then_tail = self._chain(
+            depth, max(1, quota // 2 - 1), window, then_initialized
+        )
+        else_entry, else_tail = self._chain(
+            depth, max(1, quota // 2 - 1), window, else_initialized
+        )
+        initialized |= then_initialized & else_initialized
+        join = self._block(window, initialized)
+        cond_block.set_terminator(Branch(cond, then_entry, else_entry))
+        then_tail.set_terminator(Jump(join.label))
+        else_tail.set_terminator(Jump(join.label))
+        return cond_block.label, join
+
+    def build(self) -> Function:
+        window = self._window()
+        initialized: Set[Variable] = set()
+        entry, tail = self._chain(0, max(1, self.spec.blocks - 1), window, initialized)
+        tail.set_terminator(
+            Return(self.rng.choice(sorted(initialized, key=str) or window))
+        )
+        assert self.function.entry_label == entry
+        return self.function
+
+
+def generate_stress_cfg(spec: CorpusSpec) -> Function:
+    """Generate one deterministic stress CFG from its spec."""
+    return _StressBuilder(spec).build()
+
+
+# --------------------------------------------------------------------------- edits
+def random_edit_batch(
+    function: Function,
+    seed: int = 0,
+    copies: int = 12,
+    splits: int = 4,
+    renames: int = 2,
+) -> EditLog:
+    """Apply a materialization-shaped random edit batch; return its log.
+
+    The batch mirrors what the out-of-SSA passes actually do to a function:
+
+    * *copies inserted* — ``fresh = nearby`` into random blocks, the shape of
+      Method I primed copies and sequentialization temporaries (a fresh
+      destination: the passes never introduce new kill points for existing
+      long-range variables);
+    * *edges split* — the Figure 2 fallback;
+    * *variables renamed* — a block-local variable renamed consistently at
+      *every* occurrence (as congruence-class renaming does), each rewritten
+      block logged.
+
+    The function is edited *in place* and the returned
+    :class:`~repro.ir.editlog.EditLog` describes every edit, exactly as the
+    passes themselves log them.
+    """
+    rng = random.Random(seed)
+    log = EditLog()
+    labels = list(function.blocks)
+
+    def local_variables(label: str) -> List[Variable]:
+        """Variables the block already works on — the paper's edits are
+        φ-web-local, not random global names."""
+        found: Dict[Variable, None] = {}
+        for instruction in function.blocks[label].instructions():
+            for var in instruction.defs():
+                found.setdefault(var, None)
+            for var in instruction.uses():
+                found.setdefault(var, None)
+        return list(found)
+
+    for _ in range(copies):
+        label = rng.choice(labels)
+        block = function.blocks[label]
+        # Copy a value at a point where it is manifestly available — right
+        # after one of its occurrences — the way Method I copies a φ operand
+        # where it is live.  (Reviving a long-dead name instead would be a
+        # legitimate but unrepresentative function-wide liveness change.)
+        occurrences = [
+            (index, var)
+            for index, instruction in enumerate(block.body)
+            for var in list(instruction.defs()) + list(instruction.uses())
+        ]
+        dst = function.new_variable("patch")
+        if occurrences:
+            index, src = rng.choice(occurrences)
+            block.body.insert(index + 1, Copy(dst, src))
+        else:
+            src = dst
+            block.body.insert(0, Copy(dst, src))
+        log.copy_inserted(label, dst, src)
+
+    edges = function.edges()
+    for _ in range(min(splits, len(edges))):
+        source, target = rng.choice(edges)
+        if target not in function.successors(source):
+            continue  # an earlier split already rewired this edge
+        new_block = function.split_edge(source, target)
+        log.block_split(source, target, new_block.label)
+        edges = function.edges()
+
+    occurrence_blocks: Dict[Variable, List[str]] = {}
+    for label in labels:
+        for instruction in function.blocks[label].instructions():
+            for var in instruction.defs():
+                occurrence_blocks.setdefault(var, []).append(label)
+            for var in instruction.uses():
+                occurrence_blocks.setdefault(var, []).append(label)
+
+    for _ in range(renames):
+        if not labels:
+            break
+        candidates = local_variables(rng.choice(labels))
+        if not candidates:
+            continue
+        # Congruence-class renames are φ-web-local: rename the candidate with
+        # the fewest occurrence blocks, not an inherited long-range variable.
+        old = min(candidates, key=lambda var: (len(occurrence_blocks.get(var, ())), str(var)))
+        new = function.new_variable("rn")
+        mapping = {old: new}
+        for label in dict.fromkeys(occurrence_blocks.get(old, ())):
+            block = function.blocks[label]
+            changed = False
+            for instruction in block.instructions():
+                if old in instruction.uses() or old in instruction.defs():
+                    instruction.replace_uses(mapping)
+                    instruction.replace_defs(mapping)
+                    changed = True
+            if changed:
+                log.block_rewritten(label, [old, new])
+    return log
+
+
+# --------------------------------------------------------------------------- experiment
+@dataclass
+class StressRow:
+    """Measurements for one corpus spec (times are best-of-``repeats``)."""
+
+    spec: CorpusSpec
+    blocks: int = 0
+    edits: int = 0
+    cold_rpo_seconds: float = 0.0
+    cold_scc_seconds: float = 0.0
+    incremental_seconds: float = 0.0
+    rpo_iterations: int = 0
+    scc_iterations: int = 0
+    incremental_iterations: int = 0
+    seeded_blocks: int = 0
+
+    @property
+    def speedup_incremental(self) -> float:
+        """Cold (RPO) full solve over incremental re-solve, on the edited CFG."""
+        if not self.incremental_seconds:
+            return 0.0
+        return self.cold_rpo_seconds / self.incremental_seconds
+
+
+def _rows_by_name(oracle: BitLivenessSets) -> Dict[str, Set[str]]:
+    decoded: Dict[str, Set[str]] = {}
+    for label in oracle.function.blocks:
+        decoded[f"in:{label}"] = {str(v) for v in oracle.live_in_variables(label)}
+        decoded[f"out:{label}"] = {str(v) for v in oracle.live_out_variables(label)}
+    return decoded
+
+
+def run_stress(
+    specs: Sequence[CorpusSpec],
+    repeats: int = 3,
+    edit_seed: int = 1,
+    check_identical: bool = True,
+) -> List[StressRow]:
+    """Run the three-way liveness comparison over every spec.
+
+    Each repeat regenerates the *same* function and applies the *same* edit
+    batch (generation and the batch are deterministic under their seeds), so
+    best-of-repeats timings all describe one program and the ratio between
+    them is meaningful.  A repeat warms an incremental solver, applies the
+    batch, and measures:
+
+    * cold RPO-seeded solve of the *edited* function (the recompute a
+      non-incremental pipeline would pay),
+    * cold SCC-seeded solve of the same,
+    * the incremental re-solve (``apply_edits``) patching the warm rows.
+
+    With ``check_identical`` (the default) every repeat asserts that all
+    three agree row-for-row on every block.
+    """
+    rows: List[StressRow] = []
+    for spec in specs:
+        row = StressRow(spec=spec)
+        best_rpo = best_scc = best_inc = None
+        for repeat in range(max(1, repeats)):
+            function = generate_stress_cfg(spec)
+            warm = IncrementalBitLiveness(function)
+            log = random_edit_batch(function, seed=edit_seed)
+
+            began = time.perf_counter()
+            delta = warm.apply_edits(log)
+            inc_seconds = time.perf_counter() - began
+
+            began = time.perf_counter()
+            cold_rpo = BitLivenessSets(function, seed="rpo")
+            rpo_seconds = time.perf_counter() - began
+
+            began = time.perf_counter()
+            cold_scc = BitLivenessSets(function, seed="scc")
+            scc_seconds = time.perf_counter() - began
+
+            if check_identical:
+                warm_rows = _rows_by_name(warm)
+                if not (warm_rows == _rows_by_name(cold_rpo) == _rows_by_name(cold_scc)):
+                    raise AssertionError(
+                        f"liveness rows diverged on {spec.describe()} (repeat {repeat})"
+                    )
+
+            best_rpo = rpo_seconds if best_rpo is None else min(best_rpo, rpo_seconds)
+            best_scc = scc_seconds if best_scc is None else min(best_scc, scc_seconds)
+            best_inc = inc_seconds if best_inc is None else min(best_inc, inc_seconds)
+            row.blocks = len(function.blocks)
+            row.edits = len(log)
+            row.rpo_iterations = cold_rpo.solver_iterations
+            row.scc_iterations = cold_scc.solver_iterations
+            row.incremental_iterations = delta.iterations
+            row.seeded_blocks = delta.seeded_blocks
+        row.cold_rpo_seconds = best_rpo or 0.0
+        row.cold_scc_seconds = best_scc or 0.0
+        row.incremental_seconds = best_inc or 0.0
+        rows.append(row)
+    return rows
+
+
+def scaled_specs(
+    sizes: Sequence[int],
+    scale: float = 1.0,
+    seed: int = 0,
+    loop_depth: int = 5,
+    variables: int = 12,
+) -> List[CorpusSpec]:
+    """Specs for the standard stress ladder, scaled for the environment."""
+    specs = []
+    for size in sizes:
+        blocks = max(64, int(size * scale))
+        specs.append(
+            CorpusSpec(
+                name="stress",
+                seed=seed + size,
+                blocks=blocks,
+                loop_depth=loop_depth,
+                variables=variables,
+            )
+        )
+    return specs
+
+
+#: Block counts of the standard ladder (1k–10k, the JIT-scale range).
+STANDARD_SIZES = (1000, 2500, 5000, 10000)

@@ -89,3 +89,31 @@ def format_figure7(rows: List[Figure7Row]) -> str:
                 cells.append(f"{value // 1024} KiB" if value is not None else "-")
             table_rows.append(cells)
     return _format_table(headers, table_rows)
+
+
+def format_stress(rows) -> str:
+    """The stress-scale experiment: cold RPO vs cold SCC vs incremental.
+
+    One line per corpus size; times are best-of-repeats, ``iters`` counts
+    block evaluations until the fixpoint, and ``speedup`` is the cold full
+    solve over the incremental re-solve on the same edited function.
+    """
+    headers = [
+        "blocks", "edits", "cold rpo (ms)", "cold scc (ms)", "incremental (ms)",
+        "speedup", "iters rpo", "iters scc", "iters inc", "seeded",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            str(row.blocks),
+            str(row.edits),
+            f"{row.cold_rpo_seconds * 1e3:.2f}",
+            f"{row.cold_scc_seconds * 1e3:.2f}",
+            f"{row.incremental_seconds * 1e3:.3f}",
+            f"{row.speedup_incremental:.1f}x",
+            str(row.rpo_iterations),
+            str(row.scc_iterations),
+            str(row.incremental_iterations),
+            str(row.seeded_blocks),
+        ])
+    return _format_table(headers, table_rows)

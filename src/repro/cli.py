@@ -13,6 +13,9 @@ Commands
 ``bench``
     Regenerate one of the paper's figures (5, 6 or 7) on the synthetic suite
     (batched through :class:`~repro.pipeline.Session`).
+``stress``
+    Run the liveness stress-scale experiment (cold RPO / cold SCC /
+    incremental re-solve) on the deterministic random-CFG corpus.
 ``list``
     List the available engine configurations, coalescing strategies and
     liveness backends.
@@ -24,9 +27,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.bench.corpus import STANDARD_SIZES, run_stress, scaled_specs
 from repro.bench.harness import run_figure5, run_figure6, run_figure7
 from repro.bench.metrics import copy_counts
-from repro.bench.reporting import format_figure5, format_figure6, format_figure7
+from repro.bench.reporting import (
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_stress,
+)
 from repro.bench.suite import SUITE, build_suite
 from repro.coalescing.variants import VARIANTS
 from repro.interp import run_function
@@ -135,6 +144,30 @@ def command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_stress(args: argparse.Namespace) -> int:
+    try:
+        sizes = [int(part) for part in str(args.blocks).split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro stress: invalid --blocks {args.blocks!r}") from None
+    if not sizes:
+        sizes = list(STANDARD_SIZES)
+    specs = scaled_specs(
+        sizes,
+        scale=args.scale,
+        seed=args.seed,
+        loop_depth=args.loop_depth,
+        variables=args.variables,
+    )
+    rows = run_stress(specs, repeats=args.repeats)
+    table = format_stress(rows)
+    print(table)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(table + "\n")
+        print(f"# written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def command_list(_args: argparse.Namespace) -> int:
     print("engine configurations (Figures 6/7):")
     for config in ENGINE_CONFIGURATIONS:
@@ -190,6 +223,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", type=float, default=0.4)
     bench.add_argument("--benchmarks", default="164.gzip,176.gcc,254.gap")
     bench.set_defaults(handler=command_bench)
+
+    stress = sub.add_parser(
+        "stress",
+        help="liveness stress-scale experiment on the random-CFG corpus",
+    )
+    stress.add_argument("--blocks", default=",".join(str(s) for s in STANDARD_SIZES),
+                        help="comma-separated corpus sizes in basic blocks")
+    stress.add_argument("--scale", type=float, default=1.0,
+                        help="multiply every corpus size (quick runs: 0.1)")
+    stress.add_argument("--seed", type=int, default=0, help="corpus base seed")
+    stress.add_argument("--loop-depth", type=int, default=5, help="maximum loop nesting")
+    stress.add_argument("--variables", type=int, default=12,
+                        help="per-region working-set size (variable pressure)")
+    stress.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    stress.add_argument("--output", default=None,
+                        help="also write the table to this file")
+    stress.set_defaults(handler=command_stress)
 
     listing = sub.add_parser("list", help="list engines, strategies, liveness backends, benchmarks")
     listing.set_defaults(handler=command_list)

@@ -30,6 +30,12 @@ class Function:
         self.params: List[Variable] = list(params)
         self.blocks: Dict[str, BasicBlock] = {}
         self.entry_label: Optional[str] = None
+        #: Structural generation: bumped on every CFG mutation (blocks added,
+        #: terminators edited).  The :class:`~repro.pipeline.analysis.AnalysisCache`
+        #: stamps every analysis with the generation it was computed at and
+        #: refuses to serve one whose stamp is stale — the guard that turns a
+        #: forgotten invalidation into a loud error instead of silent misuse.
+        self.generation = 0
         self._preds: Optional[Dict[str, List[str]]] = None
         self._fresh_counter = 0
         self._known_names: set = {param.name for param in self.params}
@@ -68,7 +74,24 @@ class Function:
 
     # -- CFG edges --------------------------------------------------------------
     def invalidate_cfg(self) -> None:
-        """Drop cached predecessor information (call after editing terminators)."""
+        """Declare a CFG mutation (call after editing blocks or terminators).
+
+        Drops the cached predecessor map and advances :attr:`generation`,
+        which invalidates every generation-stamped analysis served through an
+        analysis cache.  Read-only code that merely wants a fresh predecessor
+        map (defensive validation) must use :meth:`refresh_cfg_cache` instead
+        — this method asserts the function *changed*.
+        """
+        self.generation += 1
+        self._preds = None
+
+    def refresh_cfg_cache(self) -> None:
+        """Drop the cached predecessor map *without* declaring a mutation.
+
+        For read-only consumers that cannot trust the caller to have
+        invalidated after its last edit; serving stale analyses is the
+        caller's bug, a defensive re-read here must not turn into one.
+        """
         self._preds = None
 
     def successors(self, label: str) -> List[str]:

@@ -50,8 +50,11 @@ def validate_function(function: Function) -> None:
                     f"{function.name}:{block.label}: {instruction!r} may not appear in a block body"
                 )
 
-    # φ arguments must exactly cover the predecessors.
-    function.invalidate_cfg()
+    # φ arguments must exactly cover the predecessors.  Validation is
+    # read-only: refresh the predecessor cache defensively, but do not
+    # advance the structural generation (that would spuriously invalidate
+    # generation-stamped analyses of an unchanged function).
+    function.refresh_cfg_cache()
     for block in function:
         if not block.phis:
             continue

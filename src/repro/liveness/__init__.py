@@ -16,17 +16,22 @@ out-of-SSA translation:
 * :class:`~repro.liveness.livecheck.LivenessChecker` — liveness *checking*
   without global sets, from CFG-only precomputation plus per-variable cached
   backward walks (the role played by fast liveness checking [16] in the
-  paper's "LiveCheck" configurations).
+  paper's "LiveCheck" configurations);
+* :class:`~repro.liveness.incremental.IncrementalBitLiveness` — the bit-set
+  rows kept valid across structural edits: the mutating passes log what they
+  did (:class:`~repro.ir.editlog.EditLog`) and ``apply_edits`` re-solves only
+  the dirtied region, bit-identically to a cold solve.
 
-All three share the query interface of
+All four share the query interface of
 :class:`~repro.liveness.base.LivenessOracle` so every engine can be
 instantiated with any of them (``EngineConfig.liveness`` /
-``--liveness {sets,bitsets,check}``).
+``--liveness {sets,bitsets,check,incremental}``).
 """
 
 from repro.liveness.base import LivenessOracle
 from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
+from repro.liveness.incremental import IncrementalBitLiveness, ResolveDelta
 from repro.liveness.livecheck import LivenessChecker
 from repro.liveness.numbering import VariableNumbering
 from repro.liveness.intersection import IntersectionOracle, live_ranges_intersect
@@ -35,6 +40,8 @@ __all__ = [
     "LivenessOracle",
     "LivenessSets",
     "BitLivenessSets",
+    "IncrementalBitLiveness",
+    "ResolveDelta",
     "LivenessChecker",
     "VariableNumbering",
     "IntersectionOracle",

@@ -30,6 +30,16 @@ class LivenessOracle:
 
     def __init__(self, function: Function) -> None:
         self.function = function
+        self._index_positions()
+
+    def _index_positions(self) -> None:
+        """(Re)build the definition/use position maps from the function.
+
+        Called at construction; incremental oracles call it again after the
+        function was edited underneath them (see
+        :class:`~repro.liveness.incremental.IncrementalBitLiveness`).
+        """
+        function = self.function
         self.def_points: Dict[Variable, ProgramPoint] = definition_points(function)
         self.use_points: Dict[Variable, List[ProgramPoint]] = use_points(function)
         # Per-variable, per-block index of the latest use (for "used after"

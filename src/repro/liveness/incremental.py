@@ -1,0 +1,293 @@
+"""Incremental (delta-driven) bit-set liveness: patch, don't recompute.
+
+The paper's efficiency story makes liveness the hottest shared analysis of
+the whole out-of-SSA stack; its structural edits, however, are tiny and
+local — a parallel copy materialises in a couple of blocks, a critical edge
+is split, a congruence class is renamed to its representative.  Discarding
+thousands of converged live-in / live-out rows because three blocks changed
+is exactly the recomputation a JIT cannot afford.  This backend
+(``liveness="incremental"``) keeps the rows of
+:class:`~repro.liveness.bitsets.BitLivenessSets` alive across such edits: the
+mutating passes describe what they did as an
+:class:`~repro.ir.editlog.EditLog` and :meth:`IncrementalBitLiveness.apply_edits`
+re-solves only the affected region.
+
+Why the result is *bit-identical* to a cold solve of the edited function:
+
+1. Liveness decomposes per variable: rows restricted to variables that no
+   edit mentions are a valid (least) fixpoint of the edited program too,
+   because — by the :class:`~repro.ir.editlog.EditLog` contract — every block
+   whose instructions changed is logged as touched, so the cached def/use
+   masks of every other block are still exact, and edits preserve the
+   relative order of untouched instructions.
+2. For the *affected* variables the solver restarts from zero: their bits are
+   cleared from every row (one linear masking pass), the per-block masks of
+   touched blocks are rebuilt, and the worklist is seeded with every place
+   their liveness can originate — touched blocks plus each block that
+   upward-exposes or φ-uses an affected variable.  Iterating the ordinary
+   backward transfer from that seed grows the affected bits to their least
+   fixpoint, while every evaluation of an unaffected bit reproduces the value
+   it already has.
+
+Starting from the *stale* rows instead (the tempting shortcut) is unsound:
+liveness spuriously sustained around a loop is itself a fixpoint of the
+transfer functions, so a worklist alone can never shrink it.  Clearing the
+affected bits first is what makes deletion-type edits (renames that erase
+copies) exact, not just additions.
+
+The cold solve uses the SCC condensation discipline of
+:mod:`repro.cfg.scc`; derived program-point queries (``is_live_after`` and
+friends) re-index their position maps lazily after an edit batch, so
+``apply_edits`` itself stays proportional to the affected region, not to the
+function.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ir.editlog import BLOCK_SPLIT, EditLog
+from repro.ir.function import Function
+from repro.ir.instructions import Variable
+from repro.liveness.bitsets import BitLivenessSets
+from repro.liveness.numbering import VariableNumbering
+from repro.utils.bitset import BitSet
+
+
+@dataclass
+class ResolveDelta:
+    """What one :meth:`IncrementalBitLiveness.apply_edits` call did."""
+
+    edits: int                 #: entries in the applied log
+    affected_variables: int    #: variables whose bits were re-solved
+    seeded_blocks: int         #: blocks the worklist was re-seeded with
+    iterations: int            #: block evaluations until the new fixpoint
+    rows_changed: int          #: live-in/live-out rows whose bits changed
+
+
+class IncrementalBitLiveness(BitLivenessSets):
+    """Bit-set liveness rows kept valid across logged structural edits."""
+
+    category = "liveness_incremental"
+
+    def __init__(
+        self,
+        function: Function,
+        numbering: Optional[VariableNumbering] = None,
+        seed: str = "scc",
+    ) -> None:
+        self._positions_stale = False
+        super().__init__(function, numbering=numbering, seed=seed)
+        #: Number of :meth:`apply_edits` re-solves served from patched rows.
+        self.resolve_count = 0
+        self.last_delta: Optional[ResolveDelta] = None
+
+    # -- incremental re-solve --------------------------------------------------
+    def apply_edits(self, log: EditLog) -> ResolveDelta:
+        """Re-solve only the region an edit log dirtied; rows end up
+        bit-identical to a cold solve of the (edited) function."""
+        blocks = self.function.blocks
+        if not log:
+            delta = ResolveDelta(0, 0, 0, 0, 0)
+            self.last_delta = delta
+            return delta
+
+        touched = {label for label in log.touched_blocks() if label in blocks}
+        affected = log.affected_variables()
+        old_universe = self._universe
+        ensure = self.numbering.ensure
+        for var in affected:
+            ensure(var)
+        # Only variables that may have *lost* an occurrence (or gained a kill
+        # point) restart from zero; grow-only variables keep their bits and
+        # reach the new fixpoint monotonically from the touched use sites.
+        # Bits a brand-new variable never had need no clearing either, so the
+        # mask is further restricted to the pre-edit universe — for a pure
+        # insertion batch (φ-isolation) it vanishes entirely and with it both
+        # function-wide passes below.
+        cleared_mask = 0
+        for var in log.removed_variables():
+            cleared_mask |= 1 << ensure(var)
+        cleared_mask &= (1 << old_universe) - 1
+
+        # Rebuild the summaries of every block whose instructions changed;
+        # all other cached masks are still exact (EditLog contract).
+        for label in touched:
+            self._masks[label] = self._block_masks(label)
+        if self._phi_edge:
+            self._phi_edge = {
+                key: mask for key, mask in self._phi_edge.items() if key[1] not in touched
+            }
+        for label in touched:
+            for phi in blocks[label].phis:
+                for pred, arg in phi.args.items():
+                    if isinstance(arg, Variable):
+                        key = (pred, label)
+                        self._phi_edge[key] = self._phi_edge.get(key, 0) | 1 << ensure(arg)
+
+        # The raw rows are patched in place; ``dirty_rows`` tracks every label
+        # whose BitSet view may need rebuilding.  Cleared bits restart from
+        # zero (see the module docstring: stale bits around a loop would
+        # otherwise survive deletion-type edits); new blocks start empty.
+        bits_in = self._bits_in
+        bits_out = self._bits_out
+        dirty_rows = set(touched)
+        for label in log.new_blocks:
+            if label in blocks:
+                bits_in.setdefault(label, 0)
+                bits_out.setdefault(label, 0)
+        seeds = set(touched)
+        if cleared_mask:
+            keep = ~cleared_mask
+            for label, bits in bits_in.items():
+                if bits & cleared_mask:
+                    bits_in[label] = bits & keep
+                    dirty_rows.add(label)
+            for label, bits in bits_out.items():
+                if bits & cleared_mask:
+                    bits_out[label] = bits & keep
+                    dirty_rows.add(label)
+            # Seed everywhere a cleared variable's liveness can originate
+            # (its surviving use sites) — touched blocks already host every
+            # *new* occurrence of the grow-only variables (EditLog contract),
+            # so those need no function-wide scan.
+            get_mask = self._masks.get
+            for label in blocks:
+                mask = get_mask(label)
+                if mask is None:
+                    mask = self._masks[label] = self._block_masks(label)
+                if mask[1] & cleared_mask:
+                    seeds.add(label)
+            for (pred, _succ), mask in self._phi_edge.items():
+                if mask & cleared_mask and pred in blocks:
+                    seeds.add(pred)
+
+        before_iterations = self.solver_iterations
+        self._resweep(bits_in, bits_out, seeds, log, processed=dirty_rows)
+
+        # Rebuild the BitSet views of the rows the patch visited or cleared;
+        # every other view is untouched and stays valid.
+        self._universe = universe = len(self.numbering)
+        rows_changed = 0
+        for view, raw in ((self.live_in, bits_in), (self.live_out, bits_out)):
+            for label in dirty_rows:
+                if label not in blocks:
+                    continue
+                bits = raw[label]
+                row = view.get(label)
+                if row is not None and row.bits == bits:
+                    row.grow(universe)
+                else:
+                    view[label] = BitSet.from_bits(universe, bits)
+                    rows_changed += 1
+        if len(self.live_in) != len(blocks):
+            for mapping in (self.live_in, self.live_out, bits_in, bits_out):
+                for label in list(mapping):
+                    if label not in blocks:
+                        del mapping[label]
+        # Untouched views must track the grown universe too: BitSet equality
+        # is universe-sensitive and footprint_bytes() sums ceil(universe/8)
+        # per row — mixed universes would silently break both.
+        if universe > old_universe:
+            for view in (self.live_in, self.live_out):
+                for row in view.values():
+                    row.grow(universe)
+
+        self._positions_stale = True
+        self.resolve_count += 1
+        delta = ResolveDelta(
+            edits=len(log),
+            affected_variables=len(affected),
+            seeded_blocks=len(seeds),
+            iterations=self.solver_iterations - before_iterations,
+            rows_changed=rows_changed,
+        )
+        self.last_delta = delta
+        return delta
+
+    def _resweep(self, live_in, live_out, seeds, log: EditLog, processed=None) -> None:
+        """Drive the dirty region to its fixpoint, condensation-first.
+
+        Dirty blocks are grouped by the strongly connected component the cold
+        solve recorded; components are stabilised sinks-first (ascending
+        component index), with re-queues that cross a component boundary
+        spilled into that component's pending set instead of interleaving.
+        The outer loop always takes the lowest pending index, so a rare
+        backward spill (a mis-assigned new block) costs an extra local sweep,
+        never correctness.  Without a recorded SCC structure (an RPO-seeded
+        cold solve) the region is solved with one flat worklist.
+        """
+        position = self._rpo_position
+        fallback = len(position)
+
+        def local_order(block_set):
+            return sorted(
+                block_set, key=lambda label: (-position.get(label, fallback), label)
+            )
+
+        component_of = self._component_of
+        if not component_of:
+            order = local_order(seeds)
+            self._sweep(live_in, live_out, deque(order), set(order), processed=processed)
+            return
+
+        # Blocks created by the edits sit on a split edge; they belong with
+        # their split target's (equivalently: the edge's sink) component.
+        assigned: Dict[str, int] = {}
+        for edit in log:
+            if edit.kind == BLOCK_SPLIT and len(edit.blocks) == 3:
+                source, new_label, target = edit.blocks
+                assigned[new_label] = component_of.get(
+                    target, component_of.get(source, 0)
+                )
+
+        def component_index(label: str) -> int:
+            index = component_of.get(label)
+            if index is None:
+                index = assigned.get(label, 0)
+            return index
+
+        pending: Dict[int, set] = {}
+        for label in seeds:
+            pending.setdefault(component_index(label), set()).add(label)
+        extra_members: Dict[int, set] = {}
+        for label, index in assigned.items():
+            extra_members.setdefault(index, set()).add(label)
+
+        while pending:
+            index = min(pending)
+            block_set = pending.pop(index)
+            members = set(self._components[index]) if index < len(self._components) else set()
+            members |= extra_members.get(index, set())
+            members |= block_set
+            order = local_order(block_set)
+            spill: list = []
+            self._sweep(
+                live_in, live_out, deque(order), set(order), members, spill, processed
+            )
+            for label in spill:
+                pending.setdefault(component_index(label), set()).add(label)
+
+    # -- lazily refreshed program-point queries --------------------------------
+    def _ensure_positions(self) -> None:
+        if self._positions_stale:
+            self._positions_stale = False
+            self._index_positions()
+
+    def definition_of(self, var):
+        self._ensure_positions()
+        return super().definition_of(var)
+
+    def is_used_after(self, block_label: str, index: int, var: Variable) -> bool:
+        self._ensure_positions()
+        return super().is_used_after(block_label, index, var)
+
+    def is_live_after(self, block_label: str, index: int, var: Variable) -> bool:
+        self._ensure_positions()
+        return super().is_live_after(block_label, index, var)
+
+    def is_live_at_definition(self, var: Variable, of: Variable) -> bool:
+        self._ensure_positions()
+        return super().is_live_at_definition(var, of)

@@ -7,6 +7,25 @@ test.  This module numbers the variables of a function *once* and keeps the
 mapping stable while new variables (virtualized copies, sequentialization
 temporaries) are appended on the fly — exactly the growth discipline of the
 paper's Method III structures.
+
+>>> from repro.ir.instructions import Variable
+>>> from repro.liveness.numbering import VariableNumbering
+>>> a, b, c = Variable("a"), Variable("b"), Variable("c")
+>>> numbering = VariableNumbering([a, b])
+>>> numbering.ensure(a), numbering.ensure(b)    # stable, first-come order
+(0, 1)
+>>> numbering.ensure(c)                          # appended, never renumbered
+2
+>>> numbering.variable(1), numbering.get(Variable("ghost"))
+(Variable('b'), None)
+>>> len(numbering), list(numbering) == [a, b, c]
+(3, True)
+
+Sharing one instance is what keeps different bit-encoded analyses index
+compatible: :class:`~repro.liveness.bitsets.BitLivenessSets` and the
+interference :class:`~repro.interference.graph.InterferenceGraph` both
+request it from the :class:`~repro.pipeline.analysis.AnalysisCache`, so bit
+``i`` means the same variable in a liveness row and in a matrix row.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ LIVENESS_BACKENDS: Dict[str, str] = {
     "sets": "ordered-set data-flow fixpoint (reference oracle)",
     "bitsets": "bit-set rows over a shared numbering, worklist solver",
     "check": "liveness checking, no global live-in/live-out sets",
+    "incremental": "bit-set rows patched from pass edit logs (delta re-solve)",
 }
 
 #: Policies for a φ-argument defined by the predecessor's terminator.
@@ -55,6 +56,7 @@ class EngineConfig:
             "sets": "ordered liveness sets",
             "bitsets": "bit-set liveness",
             "check": "LiveCheck",
+            "incremental": "incremental bit-set liveness",
         }
         parts.append(liveness_labels.get(self.liveness, self.liveness))
         parts.append("interference graph" if self.use_interference_graph else "InterCheck")

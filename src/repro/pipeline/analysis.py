@@ -18,6 +18,43 @@ Sharing falls out of the keying: the bit-set liveness rows and the
 interference bit-matrix both request :class:`~repro.liveness.numbering.VariableNumbering`
 from the cache and therefore index their bits identically — one numbering
 instance per engine run, the ROADMAP follow-up.
+
+A worked example — build, share, mutate, get caught:
+
+>>> from repro.ir.parser import parse_function
+>>> from repro.liveness.numbering import VariableNumbering
+>>> from repro.pipeline.analysis import AnalysisCache, StaleAnalysisError
+>>> function = parse_function('''
+... function double(a) {
+...   entry:
+...     b = add a, a
+...     jump done
+...   done:
+...     ret b
+... }''')
+>>> cache = AnalysisCache(function)
+>>> numbering = cache.get(VariableNumbering)      # built lazily...
+>>> cache.get(VariableNumbering) is numbering     # ...then served cached
+True
+>>> cache.constructions[VariableNumbering]
+1
+
+Every analysis is stamped with the function's structural *generation*; a CFG
+mutation nobody declared turns the next ``get`` into a loud error instead of
+a silently-stale serve:
+
+>>> _ = function.split_edge("entry", "done")      # mutation, no invalidation
+>>> cache.get(VariableNumbering)  # doctest: +ELLIPSIS
+Traceback (most recent call last):
+    ...
+repro.pipeline.analysis.StaleAnalysisError: VariableNumbering was computed at CFG generation ... a pass mutated the CFG without declaring an invalidation ...
+
+Passes declare what survives; preserving *vouches* (re-stamps) and anything
+else is dropped and lazily rebuilt:
+
+>>> cache.preserve(VariableNumbering)             # "still valid, I promise"
+>>> cache.get(VariableNumbering) is numbering
+True
 """
 
 from __future__ import annotations
@@ -30,6 +67,7 @@ from repro.ir.function import Function
 from repro.liveness.base import LivenessOracle
 from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
+from repro.liveness.incremental import IncrementalBitLiveness
 from repro.liveness.intersection import IntersectionOracle
 from repro.liveness.livecheck import LivenessChecker
 from repro.liveness.numbering import VariableNumbering
@@ -41,11 +79,24 @@ class BlockFrequencies(dict):
     """Estimated execution frequency per block label, as an analysis result."""
 
 
+class StaleAnalysisError(RuntimeError):
+    """A cached analysis was requested after an undeclared CFG mutation.
+
+    Raised by :meth:`AnalysisCache.get` when the function's structural
+    generation advanced past the generation the analysis was stamped with:
+    some code edited the CFG without going through a pass ``preserves``
+    declaration (which re-stamps) or an explicit ``invalidate``/``preserve``
+    call.  The old behaviour — silently serving the stale instance — is
+    exactly the class of bug this guard exists to surface.
+    """
+
+
 #: The liveness oracle class backing each ``EngineConfig.liveness`` kind.
 LIVENESS_CLASSES: Dict[str, Type[LivenessOracle]] = {
     "sets": LivenessSets,
     "bitsets": BitLivenessSets,
     "check": LivenessChecker,
+    "incremental": IncrementalBitLiveness,
 }
 assert set(LIVENESS_CLASSES) == set(LIVENESS_BACKENDS)
 
@@ -56,6 +107,9 @@ _DEFAULT_BUILDERS: Dict[type, AnalysisBuilder] = {
     VariableNumbering: lambda cache: VariableNumbering.of_function(cache.function),
     LivenessSets: lambda cache: LivenessSets(cache.function),
     BitLivenessSets: lambda cache: BitLivenessSets(
+        cache.function, numbering=cache.get(VariableNumbering)
+    ),
+    IncrementalBitLiveness: lambda cache: IncrementalBitLiveness(
         cache.function, numbering=cache.get(VariableNumbering)
     ),
     LivenessChecker: lambda cache: LivenessChecker(cache.function),
@@ -77,6 +131,9 @@ class AnalysisCache:
         self.config = config
         self._builders: Dict[type, AnalysisBuilder] = dict(_DEFAULT_BUILDERS)
         self._instances: Dict[type, object] = {}
+        #: Function generation each instance was computed at (or vouched for
+        #: by a pass ``preserves`` declaration); checked on every serve.
+        self._generations: Dict[type, int] = {}
         #: type -> analyses built *from* it (invalidated along with it).
         self._dependents: Dict[type, Set[type]] = {}
         self._build_stack: List[type] = []
@@ -94,7 +151,13 @@ class AnalysisCache:
 
     # -- construction / lookup -------------------------------------------------
     def get(self, analysis_type: type):
-        """The (cached) analysis of ``analysis_type``, building it if needed."""
+        """The (cached) analysis of ``analysis_type``, building it if needed.
+
+        Raises :class:`StaleAnalysisError` when the cached instance predates a
+        CFG mutation nobody declared; declaring one — a pass ``preserves``
+        set, or an explicit :meth:`preserve` / :meth:`invalidate_all` —
+        re-stamps the surviving analyses as valid at the new generation.
+        """
         instance = self._instances.get(analysis_type)
         if instance is None:
             builder = self._builders.get(analysis_type)
@@ -111,10 +174,21 @@ class AnalysisCache:
             finally:
                 self._build_stack.pop()
             self._instances[analysis_type] = instance
+            self._generations[analysis_type] = self.function.generation
             self.constructions[analysis_type] = self.constructions.get(analysis_type, 0) + 1
-        elif self._build_stack:
-            # Serving a cached analysis to a builder still creates a dependency.
-            self._dependents.setdefault(analysis_type, set()).add(self._build_stack[-1])
+        else:
+            stamped = self._generations.get(analysis_type)
+            current = self.function.generation
+            if stamped != current:
+                raise StaleAnalysisError(
+                    f"{analysis_type.__name__} was computed at CFG generation "
+                    f"{stamped} but the function is now at generation {current}: "
+                    f"a pass mutated the CFG without declaring an invalidation "
+                    f"(declare it in ``preserves``, or call invalidate()/preserve())"
+                )
+            if self._build_stack:
+                # Serving a cached analysis to a builder still creates a dependency.
+                self._dependents.setdefault(analysis_type, set()).add(self._build_stack[-1])
         return instance
 
     def cached(self, analysis_type: type):
@@ -124,6 +198,7 @@ class AnalysisCache:
     def put(self, analysis_type: type, instance) -> None:
         """Install a precomputed analysis (e.g. profile-derived frequencies)."""
         self._instances[analysis_type] = instance
+        self._generations[analysis_type] = self.function.generation
 
     # -- liveness selection ----------------------------------------------------
     def liveness_class(self) -> Type[LivenessOracle]:
@@ -146,18 +221,25 @@ class AnalysisCache:
         while worklist:
             analysis_type = worklist.pop()
             if self._instances.pop(analysis_type, None) is not None:
+                self._generations.pop(analysis_type, None)
                 worklist.extend(self._dependents.pop(analysis_type, ()))
 
     def invalidate_all(self, preserve: Iterable[type] = ()) -> None:
         """Drop every cached analysis except the explicitly preserved ones.
 
         A preserved analysis keeps its dependency edges, so a later
-        :meth:`invalidate` of one of its inputs still drops it.
+        :meth:`invalidate` of one of its inputs still drops it.  Preserving is
+        *vouching*: the survivors are re-stamped with the function's current
+        generation, since whoever declared the preserve-set asserts they are
+        still valid after whatever mutation just happened.
         """
         preserved = set(preserve)
         for analysis_type in list(self._instances):
             if analysis_type not in preserved:
                 del self._instances[analysis_type]
+                self._generations.pop(analysis_type, None)
+            else:
+                self._generations[analysis_type] = self.function.generation
 
     def preserve(self, *analysis_types: type) -> None:
         """Alias spelling ``invalidate_all(preserve=...)`` for pass bodies."""

@@ -18,17 +18,19 @@ split into pass objects over a shared :class:`~repro.pipeline.analysis.AnalysisC
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.coalescing.engine import Affinity, AggressiveCoalescer, collect_affinities
 from repro.coalescing.sharing import apply_copy_sharing
 from repro.interference.congruence import CongruenceClasses
 from repro.interference.definitions import InterferenceTest
 from repro.interference.graph import InterferenceGraph
+from repro.ir.editlog import EditLog
 from repro.ir.function import Function
 from repro.ir.instructions import Constant, Copy, ParallelCopy, Variable
 from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
+from repro.liveness.incremental import IncrementalBitLiveness
 from repro.liveness.intersection import IntersectionOracle
 from repro.liveness.numbering import VariableNumbering
 from repro.outofssa.method_i import PhiCopyInsertion, insert_phi_copies
@@ -78,10 +80,23 @@ class IsolationPass(Pass):
     preserves = ()  # inserts copies, may split blocks: everything is stale
 
     def run(self, ctx) -> None:
+        # Warm-cache fast path (JIT re-translation): a live incremental
+        # liveness survives the insertion as a patch instead of a recompute.
+        live: Optional[IncrementalBitLiveness] = None
+        if ctx.config.liveness == "incremental":
+            live = ctx.analyses.cached(IncrementalBitLiveness)
+
         insertion = insert_phi_copies(ctx.function, on_branch_def=ctx.config.on_branch_def)
         ctx.insertion = insertion
         ctx.stats.inserted_phi_copies = insertion.inserted_copy_count
         ctx.stats.split_blocks = len(insertion.split_blocks)
+
+        if live is not None:
+            live.apply_edits(insertion.edit_log())
+            # The numbering only grew (append-only), so it is vouched for too;
+            # dropping it would hand later consumers a second instance with
+            # different indices than the preserved rows.
+            ctx.patched_analyses.extend([IncrementalBitLiveness, VariableNumbering])
 
 
 # --------------------------------------------------------------------------- phase 2
@@ -179,16 +194,35 @@ class MaterializationPass(Pass):
         function = ctx.function
         stats = ctx.stats
 
+        # Fetch the oracle *before* mutating: the generation-checked cache
+        # would (rightly) refuse to serve it afterwards.
+        oracle = ctx.analyses.get(IntersectionOracle)
+        live: Optional[IncrementalBitLiveness] = None
+        if ctx.config.liveness == "incremental":
+            live = ctx.analyses.cached(IncrementalBitLiveness)
+        edit_log = EditLog() if live is not None else None
+
         rename_map = build_rename_map(function, ctx.classes)
         shared_destinations = {
             affinity.dst
             for affinity in ctx.coalescing.remaining_affinities
             if affinity.shared
         }
-        materialize(function, rename_map, shared_destinations, ctx.frequencies, stats)
+        materialize(
+            function, rename_map, shared_destinations, ctx.frequencies, stats,
+            edit_log=edit_log,
+        )
+
+        if live is not None:
+            if rename_map:
+                edit_log.variables_renamed(rename_map)
+            live.apply_edits(edit_log)
+            # The translated function's liveness is served patched, not
+            # recomputed — e.g. to a register allocator running next.
+            ctx.patched_analyses.extend([IncrementalBitLiveness, VariableNumbering])
 
         stats.pair_queries = ctx.classes.pair_queries
-        stats.intersection_queries = ctx.analyses.get(IntersectionOracle).query_count
+        stats.intersection_queries = oracle.query_count
         ctx.rename_map = rename_map
 
 
@@ -219,8 +253,16 @@ def materialize(
     shared_destinations,
     frequencies: Dict[str, float],
     stats,
+    edit_log: Optional[EditLog] = None,
 ) -> None:
-    """Rename to representatives, drop φs, sequentialize surviving copies."""
+    """Rename to representatives, drop φs, sequentialize surviving copies.
+
+    When ``edit_log`` is given, every block whose instruction list changed is
+    logged (with the φ/parallel-copy variables involved); the caller combines
+    that with one ``variables_renamed`` entry for the rename map, which is
+    what lets an incremental liveness patch itself over the materialized
+    program.
+    """
 
     def fresh() -> Variable:
         stats.sequentialization_temps += 1
@@ -253,25 +295,63 @@ def materialize(
 
     for block in function:
         label = block.label
+        # Per-block edit accounting: whether the instruction list changed, and
+        # which variables (beyond the globally-logged rename map) it involved.
+        block_changed = False
+        block_vars: List[Variable] = []
+
+        def note_pcopy(pcopy: ParallelCopy, copies: List[Copy]) -> None:
+            if edit_log is None:
+                return
+            for dst, src in pcopy.pairs:
+                block_vars.append(dst)
+                if isinstance(src, Variable):
+                    block_vars.append(src)
+            for copy in copies:
+                block_vars.append(copy.dst)
+                if isinstance(copy.src, Variable):
+                    block_vars.append(copy.src)
+
+        def renames_anything(instruction) -> bool:
+            return any(var in mapping for var in instruction.uses()) or any(
+                var in mapping for var in instruction.defs()
+            )
 
         # φ-functions: after renaming every operand maps to the φ-node
         # representative, so they simply disappear.
-        block.phis = []
+        if block.phis:
+            block_changed = True
+            if edit_log is not None:
+                for phi in block.phis:
+                    block_vars.append(phi.dst)
+                    block_vars.extend(phi.uses())
+            block.phis = []
 
         prefix: List[Copy] = []
         if block.entry_pcopy is not None:
             prefix = lower_pcopy(block.entry_pcopy, label)
+            note_pcopy(block.entry_pcopy, prefix)
+            block_changed = True
             block.entry_pcopy = None
 
         new_body: List = []
         for instruction in block.body:
             if isinstance(instruction, ParallelCopy):
-                new_body.extend(lower_pcopy(instruction, label))
+                copies = lower_pcopy(instruction, label)
+                note_pcopy(instruction, copies)
+                block_changed = True
+                new_body.extend(copies)
                 continue
+            if edit_log is not None and renames_anything(instruction):
+                block_changed = True
             instruction.replace_uses(mapping)  # type: ignore[arg-type]
             instruction.replace_defs(mapping)
             if isinstance(instruction, Copy):
                 if isinstance(instruction.src, Variable) and instruction.src == instruction.dst:
+                    # Dropped self-copy: the block changed even when the name
+                    # was never renamed (an originally trivial copy).
+                    block_changed = True
+                    block_vars.append(instruction.dst)
                     continue
                 if isinstance(instruction.src, Constant):
                     stats.constant_moves += 1
@@ -283,12 +363,19 @@ def materialize(
         suffix: List[Copy] = []
         if block.exit_pcopy is not None:
             suffix = lower_pcopy(block.exit_pcopy, label)
+            note_pcopy(block.exit_pcopy, suffix)
+            block_changed = True
             block.exit_pcopy = None
 
         block.body = prefix + new_body + suffix
 
         if block.terminator is not None:
+            if edit_log is not None and renames_anything(block.terminator):
+                block_changed = True
             block.terminator.replace_uses(mapping)  # type: ignore[arg-type]
             block.terminator.replace_defs(mapping)
+
+        if edit_log is not None and block_changed:
+            edit_log.block_rewritten(label, block_vars)
 
     function.invalidate_cfg()

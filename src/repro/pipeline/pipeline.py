@@ -76,6 +76,10 @@ class PipelineContext:
     classes: Optional[object] = None        #: CongruenceClasses
     coalescing: Optional[object] = None     #: CoalescingStats
     rename_map: Dict = field(default_factory=dict)
+    #: Analyses the *current* pass patched in place (rather than invalidated);
+    #: the PassManager adds them to the pass's preserve-set, re-stamps their
+    #: generation, and clears this list before the next pass runs.
+    patched_analyses: List[type] = field(default_factory=list)
     #: Wall-clock seconds per pass name (accumulated by the PassManager).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -102,9 +106,13 @@ class PassManager:
             ctx.pass_seconds[pass_.name] = (
                 ctx.pass_seconds.get(pass_.name, 0.0) + time.perf_counter() - start
             )
-            preserves = getattr(pass_, "preserves", ())
+            if hasattr(pass_, "preserved"):
+                preserves = pass_.preserved(ctx)
+            else:
+                preserves = getattr(pass_, "preserves", ())
             if preserves is not PRESERVES_ALL:
                 ctx.analyses.invalidate_all(preserve=preserves)
+            ctx.patched_analyses = []
 
 
 # --------------------------------------------------------------------------- pipeline

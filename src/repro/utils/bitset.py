@@ -5,6 +5,35 @@ matrix* and evaluates liveness sets stored as bit sets with the closed-form
 footprint ``ceil(#variables / 8) * #basicblocks * 2``.  These classes provide
 both the functional behaviour and the byte-accounting needed to regenerate
 Figure 7.
+
+A :class:`BitSet` is a fixed-universe set of small integers with the usual
+set protocol plus the raw-mask escape hatch fixpoint solvers use:
+
+>>> from repro.utils.bitset import BitSet, BitMatrix
+>>> row = BitSet(10, [1, 4])
+>>> row.add(7); sorted(row)
+[1, 4, 7]
+>>> 4 in row, 5 in row, 99 in row      # out-of-universe is just "not in"
+(True, False, False)
+>>> len(row), row.footprint_bytes()    # ceil(10 / 8) == 2 bytes
+(3, 2)
+>>> row.union(BitSet(12, [4, 11])).universe    # operations merge universes
+12
+>>> BitSet.from_bits(10, 0b10010) == BitSet(10, [1, 4])  # solver handoff
+True
+
+The :class:`BitMatrix` stores a symmetric relation in a triangle (pair
+``{a, b}`` lives on the row of the larger index), growing as variables are
+introduced — the paper's interference-graph representation:
+
+>>> matrix = BitMatrix(3)
+>>> matrix.set(0, 2); matrix.test(2, 0)    # symmetric
+True
+>>> matrix.set(5, 1)                        # grows on demand
+>>> matrix.size, sorted(matrix.neighbours(1))
+(6, [5])
+>>> BitMatrix.evaluated_footprint(64)       # ceil(64/8) * 64 / 2
+256
 """
 
 from __future__ import annotations

@@ -50,7 +50,7 @@ class TestTranslate:
         assert main(["translate", lost_copy_file, "--variant", "intersect"]) == 0
         assert "phi" not in capsys.readouterr().out
 
-    @pytest.mark.parametrize("backend", ["sets", "bitsets", "check"])
+    @pytest.mark.parametrize("backend", ["sets", "bitsets", "check", "incremental"])
     def test_translate_with_liveness_backend(self, lost_copy_file, capsys, backend):
         assert main([
             "translate", lost_copy_file, "--engine", "us_i", "--liveness", backend, "--stats",
@@ -109,9 +109,40 @@ class TestRunAndBenchAndList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "liveness backends" in out
-        for backend in ("sets", "bitsets", "check"):
+        for backend in ("sets", "bitsets", "check", "incremental"):
             assert backend in out
 
     def test_unknown_benchmark_is_a_clean_system_exit(self):
         with pytest.raises(SystemExit, match="unknown benchmark"):
             main(["bench", "--figure", "5", "--benchmarks", "nope"])
+
+
+class TestShippedExample:
+    def test_readme_quickstart_file_translates(self, capsys):
+        """The file the README quickstart names must exist and translate."""
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "lost_copy.ir"
+        )
+        assert main(["translate", path, "--liveness", "incremental"]) == 0
+        assert "phi" not in capsys.readouterr().out
+
+
+class TestStress:
+    def test_stress_prints_the_table(self, capsys):
+        assert main(["stress", "--blocks", "80,120", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cold rpo (ms)" in out and "speedup" in out
+
+    def test_stress_writes_output_file(self, tmp_path, capsys):
+        path = tmp_path / "stress.txt"
+        assert main([
+            "stress", "--blocks", "80", "--repeats", "1", "--output", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert "incremental (ms)" in path.read_text()
+
+    def test_stress_rejects_bad_blocks(self):
+        with pytest.raises(SystemExit, match="invalid --blocks"):
+            main(["stress", "--blocks", "abc"])

@@ -1,0 +1,103 @@
+"""Unit tests for SCC condensation (Tarjan) over the CFG."""
+
+from repro.cfg.scc import (
+    condensation_order,
+    is_trivial_component,
+    scc_block_order,
+    strongly_connected_components,
+)
+from repro.ir.builder import FunctionBuilder
+
+
+def build_nested_loops():
+    """entry -> outer(header1 -> inner(header2 <-> body2) -> latch1) -> exit"""
+    fb = FunctionBuilder("nested")
+    entry, h1, h2, b2, l1, done = fb.blocks("entry", "h1", "h2", "b2", "l1", "done")
+    x = fb.var("x")
+    with fb.at(entry):
+        fb.op("const", 1, name="x")
+        fb.jump(h1)
+    with fb.at(h1):
+        fb.jump(h2)
+    with fb.at(h2):
+        cond = fb.op("cmp_lt", x, 10)
+        fb.branch(cond, b2, l1)
+    with fb.at(b2):
+        fb.op("add", x, 1, name="x")
+        fb.jump(h2)
+    with fb.at(l1):
+        cond = fb.op("cmp_lt", x, 100)
+        fb.branch(cond, h1, done)
+    with fb.at(done):
+        fb.ret(x)
+    return fb.finish()
+
+
+def test_nested_loops_collapse_to_one_component():
+    function = build_nested_loops()
+    components = strongly_connected_components(function)
+    as_sets = [frozenset(component) for component in components]
+    # The inner loop is nested in the outer one: h1, h2, b2, l1 form ONE SCC.
+    assert frozenset({"h1", "h2", "b2", "l1"}) in as_sets
+    assert frozenset({"entry"}) in as_sets
+    assert frozenset({"done"}) in as_sets
+    assert len(components) == 3
+
+
+def test_emission_is_reverse_topological():
+    """Every component appears before every component that can reach it."""
+    function = build_nested_loops()
+    components = strongly_connected_components(function)
+    position = {}
+    for index, component in enumerate(components):
+        for label in component:
+            position[label] = index
+    for source, target in function.edges():
+        if position[source] != position[target]:
+            # Edge source -> target: target's component must be emitted first.
+            assert position[target] < position[source]
+
+
+def test_condensation_order_is_the_reverse():
+    function = build_nested_loops()
+    assert condensation_order(function) == list(
+        reversed(strongly_connected_components(function))
+    )
+
+
+def test_unreachable_blocks_are_covered():
+    fb = FunctionBuilder("unreachable")
+    entry, island = fb.blocks("entry", "island")
+    with fb.at(entry):
+        fb.ret(0)
+    with fb.at(island):
+        fb.ret(1)
+    function = fb.finish()
+    components = strongly_connected_components(function)
+    covered = {label for component in components for label in component}
+    assert covered == {"entry", "island"}
+
+
+def test_trivial_component_detection():
+    fb = FunctionBuilder("selfloop")
+    entry, spin, done = fb.blocks("entry", "spin", "done")
+    x = fb.var("x")
+    with fb.at(entry):
+        fb.op("const", 3, name="x")
+        fb.jump(spin)
+    with fb.at(spin):
+        cond = fb.op("cmp_lt", x, 5)
+        fb.branch(cond, spin, done)
+    with fb.at(done):
+        fb.ret(x)
+    function = fb.finish()
+    by_head = {component[0]: component for component in strongly_connected_components(function)}
+    assert not is_trivial_component(function, by_head["spin"])  # self-loop
+    assert is_trivial_component(function, by_head["entry"])
+    assert is_trivial_component(function, by_head["done"])
+
+
+def test_scc_block_order_covers_all_blocks_once():
+    function = build_nested_loops()
+    order = scc_block_order(function)
+    assert sorted(order) == sorted(function.blocks)
