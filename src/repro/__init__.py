@@ -42,6 +42,7 @@ from repro.interp.interpreter import run_function
 from repro.outofssa.driver import (
     DEFAULT_ENGINE,
     ENGINE_CONFIGURATIONS,
+    INTERFERENCE_BACKENDS,
     LIVENESS_BACKENDS,
     EngineConfig,
     EngineConfigBuilder,
@@ -65,6 +66,7 @@ __all__ = [
     "destruct_ssa",
     "DEFAULT_ENGINE",
     "ENGINE_CONFIGURATIONS",
+    "INTERFERENCE_BACKENDS",
     "LIVENESS_BACKENDS",
     "EngineConfig",
     "EngineConfigBuilder",

@@ -11,7 +11,11 @@ variables.  This module generates exactly those *functions-as-graphs*:
   CFG: nested natural loops up to ``loop_depth``, if/else diamonds, straight
   chains, with every block reading and writing a bounded pool of
   ``variables`` (the pressure knob).  The construction is budget-driven, so
-  ``blocks=5000`` really produces ≈5000 blocks.
+  ``blocks=5000`` really produces ≈5000 blocks.  With ``irreducible > 0``
+  some loops gain a second entry (a dispatch block branching both to the
+  header and into the middle of the body) — the multi-entry regions where
+  reverse post-order has no good visit order and condensation-ordered SCC
+  seeding must win outright.
 * :func:`random_edit_batch` — a materialization-shaped batch of structural
   edits (copies inserted, edges split, localized renames) applied to the
   function *and* described as an :class:`~repro.ir.editlog.EditLog`, the way
@@ -20,6 +24,10 @@ variables.  This module generates exactly those *functions-as-graphs*:
   ``benchmarks/test_stress_scale.py``: cold RPO-seeded solve vs cold
   SCC-seeded solve vs incremental re-solve after the edit batch, with the
   bit-identity of all three checked on every run.
+* :func:`run_interference_stress` — the companion experiment for the
+  ``incremental`` interference backend: the warm matrix patched from the
+  same edit batch vs a cold bit-set liveness solve plus matrix rebuild,
+  with row-for-row matrix identity checked on every run.
 
 Everything is driven by a seeded :class:`random.Random`; the same spec
 always yields the same function, edits, and convergence counts.
@@ -62,11 +70,19 @@ class CorpusSpec:
     loop_probability: float = 0.30
     branch_probability: float = 0.30
     ops_per_block: int = 3
+    #: Probability that a loop gets a *second* entry edge (a dispatch block
+    #: branching both to the header and into the middle of the body), making
+    #: it a multi-entry — irreducible — region.  Reverse post-order has no
+    #: good answer for such regions (there is no single header to visit
+    #: first), which is exactly where condensation-ordered SCC seeding should
+    #: beat RPO seeding on block evaluations, not just tie it.
+    irreducible: float = 0.0
 
     def describe(self) -> str:
+        extra = f", irreducible {self.irreducible:.2f}" if self.irreducible else ""
         return (
             f"{self.blocks} blocks, depth {self.loop_depth}, "
-            f"{self.variables} variables, seed {self.seed}"
+            f"{self.variables} variables, seed {self.seed}{extra}"
         )
 
 
@@ -180,7 +196,9 @@ class _StressBuilder:
         window = self._window(parent_window, parent_initialized)
         initialized = {var for var in window if var in parent_initialized}
         header = self._block(window, initialized)
+        body_start = self._used()
         body_entry, body_tail = self._chain(depth, max(1, quota - 3), window, initialized)
+        body_end = self._used()
         latch = self._block(window, initialized)
         exit_block = self._block(window, initialized)
         header.set_terminator(Jump(body_entry))
@@ -188,6 +206,16 @@ class _StressBuilder:
         latch.set_terminator(
             Branch(self.rng.choice(sorted(initialized, key=str)), header.label, exit_block.label)
         )
+        if self.rng.random() < self.spec.irreducible and body_end > body_start:
+            # Multi-entry loop: a dispatch block outside the region branches
+            # both to the header and *into the middle of the body* (possibly
+            # inside a nested sub-loop), so the SCC has two entries and no
+            # dominating header — an irreducible CFG region.
+            target = f"b{self.rng.randint(body_start + 1, body_end)}"
+            dispatch = self._block(parent_window, parent_initialized)
+            cond = self.rng.choice(sorted(parent_initialized, key=str))
+            dispatch.set_terminator(Branch(cond, header.label, target))
+            return dispatch.label, exit_block
         return header.label, exit_block
 
     def _diamond(
@@ -435,12 +463,110 @@ def run_stress(
     return rows
 
 
+# --------------------------------------------------------------------------- interference
+@dataclass
+class InterferenceStressRow:
+    """Incremental interference matrix vs cold rebuild on one corpus spec."""
+
+    spec: CorpusSpec
+    blocks: int = 0
+    universe: int = 0           #: matrix universe size (variables)
+    edits: int = 0
+    cold_seconds: float = 0.0          #: cold liveness solve + cold matrix build
+    incremental_seconds: float = 0.0   #: liveness patch + matrix patch
+    matrix_bytes: int = 0
+    dirty_blocks: int = 0              #: blocks the incremental scan re-visited
+
+    @property
+    def speedup(self) -> float:
+        """Cold full rebuild over incremental patch, on the edited CFG."""
+        if not self.incremental_seconds:
+            return 0.0
+        return self.cold_seconds / self.incremental_seconds
+
+
+def run_interference_stress(
+    specs: Sequence[CorpusSpec],
+    repeats: int = 3,
+    edit_seed: int = 1,
+    check_identical: bool = True,
+) -> List[InterferenceStressRow]:
+    """Incremental interference-matrix maintenance vs cold rebuilds.
+
+    Per repeat: generate the spec's CFG, warm an incremental liveness and an
+    incremental interference matrix over the full variable universe (the
+    intersection notion — the stress corpus is not SSA, so the scan-based
+    construction is the well-defined one), apply the materialization-shaped
+    edit batch, and measure
+
+    * the incremental path — ``apply_edits`` on the liveness rows then on the
+      matrix (what a pipeline pass pays), against
+    * the cold path — a fresh bit-set liveness solve of the edited function
+      plus a fresh matrix build over the *same* universe ordering.
+
+    With ``check_identical`` every repeat asserts the patched matrix is
+    bit-identical (row for row, same slot assignment) to the cold rebuild.
+    """
+    from repro.interference.base import InterferenceKind
+    from repro.interference.graph import IncrementalMatrixInterference, MatrixInterference
+    from repro.liveness.intersection import IntersectionOracle
+
+    rows: List[InterferenceStressRow] = []
+    for spec in specs:
+        row = InterferenceStressRow(spec=spec)
+        best_cold = best_inc = None
+        for repeat in range(max(1, repeats)):
+            function = generate_stress_cfg(spec)
+            warm_live = IncrementalBitLiveness(function)
+            warm = IncrementalMatrixInterference(
+                function,
+                IntersectionOracle(function, warm_live),
+                InterferenceKind.INTERSECT,
+            )
+            log = random_edit_batch(function, seed=edit_seed)
+
+            began = time.perf_counter()
+            warm_live.apply_edits(log)
+            delta = warm.apply_edits(log)
+            inc_seconds = time.perf_counter() - began
+
+            # Cold rebuild over the warm matrix's exact universe ordering, so
+            # slot assignments coincide and rows compare bit-for-bit.
+            began = time.perf_counter()
+            cold_live = BitLivenessSets(function)
+            cold = MatrixInterference(
+                function,
+                IntersectionOracle(function, cold_live),
+                InterferenceKind.INTERSECT,
+                universe=warm.graph.variables(),
+            )
+            cold_seconds = time.perf_counter() - began
+
+            if check_identical and warm.graph.row_bits() != cold.graph.row_bits():
+                raise AssertionError(
+                    f"interference rows diverged on {spec.describe()} (repeat {repeat})"
+                )
+
+            best_cold = cold_seconds if best_cold is None else min(best_cold, cold_seconds)
+            best_inc = inc_seconds if best_inc is None else min(best_inc, inc_seconds)
+            row.blocks = len(function.blocks)
+            row.universe = len(warm.graph)
+            row.edits = len(log)
+            row.matrix_bytes = warm.matrix_bytes()
+            row.dirty_blocks = delta.dirty_blocks
+        row.cold_seconds = best_cold or 0.0
+        row.incremental_seconds = best_inc or 0.0
+        rows.append(row)
+    return rows
+
+
 def scaled_specs(
     sizes: Sequence[int],
     scale: float = 1.0,
     seed: int = 0,
     loop_depth: int = 5,
     variables: int = 12,
+    irreducible: float = 0.0,
 ) -> List[CorpusSpec]:
     """Specs for the standard stress ladder, scaled for the environment."""
     specs = []
@@ -453,6 +579,7 @@ def scaled_specs(
                 blocks=blocks,
                 loop_depth=loop_depth,
                 variables=variables,
+                irreducible=irreducible,
             )
         )
     return specs

@@ -43,7 +43,13 @@ def format_figure5(rows: List[Figure5Row]) -> str:
 
 
 def format_figure6(rows: List[Figure6Row]) -> str:
-    """Figure 6: out-of-SSA time, normalised to Sreedhar III."""
+    """Figure 6: out-of-SSA time, normalised to Sreedhar III.
+
+    Below the timing ratios the suite-wide query counters are printed per
+    engine — intersection queries and pairwise class-check queries — so the
+    per-backend trade (matrix memory vs. on-the-fly queries) is visible next
+    to the bars it explains.
+    """
     engine_names = [engine.name for engine in ENGINE_CONFIGURATIONS]
     headers = ["benchmark"] + [engine.label for engine in ENGINE_CONFIGURATIONS]
     table_rows = []
@@ -53,6 +59,19 @@ def format_figure6(rows: List[Figure6Row]) -> str:
             ratio = row.ratios.get(name)
             cells.append(f"{ratio:.2f}" if ratio is not None else "-")
         table_rows.append(cells)
+        if row.benchmark != "sum":
+            continue
+        for label, counts in (
+            ("  sum (intersection queries)", row.intersection_queries),
+            ("  sum (pair queries)", row.pair_queries),
+        ):
+            if not counts:
+                continue
+            cells = [label]
+            for name in engine_names:
+                value = counts.get(name)
+                cells.append(str(value) if value is not None else "-")
+            table_rows.append(cells)
     return _format_table(headers, table_rows)
 
 
@@ -80,6 +99,7 @@ def format_figure7(rows: List[Figure7Row]) -> str:
         for label, evaluated in (
             ("evaluated ordered", row.evaluated_ordered),
             ("evaluated bit-sets", row.evaluated_bitset),
+            ("measured matrix", row.measured_matrix),
         ):
             if not evaluated:
                 continue
@@ -115,5 +135,33 @@ def format_stress(rows) -> str:
             str(row.scc_iterations),
             str(row.incremental_iterations),
             str(row.seeded_blocks),
+        ])
+    return _format_table(headers, table_rows)
+
+
+def format_interference_stress(rows) -> str:
+    """The interference stress experiment: cold matrix rebuild vs incremental.
+
+    One line per corpus size; times are best-of-repeats.  ``cold`` is a fresh
+    bit-set liveness solve plus a fresh matrix build of the edited function,
+    ``incremental`` is the two ``apply_edits`` patches over the warm
+    structures, ``dirty`` counts the blocks the incremental scan re-visited
+    (out of ``blocks``), and ``matrix`` is the measured half-matrix size.
+    """
+    headers = [
+        "blocks", "universe", "edits", "cold (ms)", "incremental (ms)",
+        "speedup", "dirty", "matrix (KiB)",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            str(row.blocks),
+            str(row.universe),
+            str(row.edits),
+            f"{row.cold_seconds * 1e3:.2f}",
+            f"{row.incremental_seconds * 1e3:.3f}",
+            f"{row.speedup:.1f}x",
+            str(row.dirty_blocks),
+            str(row.matrix_bytes // 1024),
         ])
     return _format_table(headers, table_rows)

@@ -14,11 +14,13 @@ Commands
     Regenerate one of the paper's figures (5, 6 or 7) on the synthetic suite
     (batched through :class:`~repro.pipeline.Session`).
 ``stress``
-    Run the liveness stress-scale experiment (cold RPO / cold SCC /
-    incremental re-solve) on the deterministic random-CFG corpus.
+    Run the stress-scale experiments on the deterministic random-CFG corpus:
+    liveness (cold RPO / cold SCC / incremental re-solve) and/or the
+    incremental interference matrix vs cold rebuilds
+    (``--experiment {liveness,interference,both}``).
 ``list``
-    List the available engine configurations, coalescing strategies and
-    liveness backends.
+    List the available engine configurations, coalescing strategies,
+    liveness backends and interference backends.
 """
 
 from __future__ import annotations
@@ -27,13 +29,19 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.bench.corpus import STANDARD_SIZES, run_stress, scaled_specs
+from repro.bench.corpus import (
+    STANDARD_SIZES,
+    run_interference_stress,
+    run_stress,
+    scaled_specs,
+)
 from repro.bench.harness import run_figure5, run_figure6, run_figure7
 from repro.bench.metrics import copy_counts
 from repro.bench.reporting import (
     format_figure5,
     format_figure6,
     format_figure7,
+    format_interference_stress,
     format_stress,
 )
 from repro.bench.suite import SUITE, build_suite
@@ -42,6 +50,7 @@ from repro.interp import run_function
 from repro.ir import format_function, parse_function
 from repro.outofssa.config import (
     ENGINE_CONFIGURATIONS,
+    INTERFERENCE_BACKENDS,
     LIVENESS_BACKENDS,
     EngineConfig,
     engine_by_name,
@@ -62,7 +71,8 @@ def _parse_args_list(text: str) -> List[int]:
 
 
 def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
-    """Resolve ``--engine`` / ``--variant`` / ``--liveness`` into one config.
+    """Resolve ``--engine`` / ``--variant`` / ``--liveness`` / ``--interference``
+    into one config.
 
     Unknown names raise :class:`SystemExit` with the lookup error's message,
     so the user sees "unknown engine 'x'; known engines: ..." instead of a
@@ -76,13 +86,15 @@ def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
                 .label(args.variant)
                 .coalescing(args.variant)
                 .liveness("check")
-                .interference_graph(False)
+                .interference("query")
                 .linear_class_check(False)
             )
         else:
             builder = EngineConfig.builder(engine_by_name(args.engine))
         if args.liveness:
             builder.liveness(args.liveness)
+        if getattr(args, "interference", None):
+            builder.interference(args.interference)
         return builder.build()
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -157,9 +169,18 @@ def command_stress(args: argparse.Namespace) -> int:
         seed=args.seed,
         loop_depth=args.loop_depth,
         variables=args.variables,
+        irreducible=args.irreducible,
     )
-    rows = run_stress(specs, repeats=args.repeats)
-    table = format_stress(rows)
+    tables = []
+    if args.experiment in ("liveness", "both"):
+        tables.append(format_stress(run_stress(specs, repeats=args.repeats)))
+    if args.experiment in ("interference", "both"):
+        tables.append(
+            format_interference_stress(
+                run_interference_stress(specs, repeats=args.repeats)
+            )
+        )
+    table = "\n\n".join(tables)
     print(table)
     if args.output:
         with open(args.output, "w") as handle:
@@ -179,6 +200,10 @@ def command_list(_args: argparse.Namespace) -> int:
     print()
     print("liveness backends (--liveness):")
     for kind, description in LIVENESS_BACKENDS.items():
+        print(f"  {kind:14s} {description}")
+    print()
+    print("interference backends (--interference):")
+    for kind, description in INTERFERENCE_BACKENDS.items():
         print(f"  {kind:14s} {description}")
     print()
     print("synthetic benchmarks:")
@@ -204,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--liveness", default=None,
                            help="liveness backend (see 'repro list'): ordered sets, bit-set "
                                 "worklist, or liveness checking (overrides the engine's backend)")
+    translate.add_argument("--interference", default=None,
+                           choices=sorted(INTERFERENCE_BACKENDS),
+                           help="interference backend (see 'repro list'): eager bit-matrix, "
+                                "on-the-fly queries, or the incrementally patched matrix "
+                                "(overrides the engine's backend)")
     translate.add_argument("--construct-ssa", action="store_true",
                            help="build SSA first (for non-SSA input files)")
     translate.add_argument("--optimize", action="store_true",
@@ -236,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument("--loop-depth", type=int, default=5, help="maximum loop nesting")
     stress.add_argument("--variables", type=int, default=12,
                         help="per-region working-set size (variable pressure)")
+    stress.add_argument("--irreducible", type=float, default=0.0,
+                        help="probability of a second (irreducible) loop entry")
+    stress.add_argument("--experiment", default="liveness",
+                        choices=("liveness", "interference", "both"),
+                        help="which incremental subsystem to stress")
     stress.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
     stress.add_argument("--output", default=None,

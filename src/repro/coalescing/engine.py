@@ -15,6 +15,14 @@ Two processing orders are provided:
   decreasing weight, then the remaining (non-φ) copies: this reproduces the
   ordering constraint of the virtualized engines (Sreedhar III / "Us III"),
   where only a partial view of the interference structure is available.
+
+Interference reaches the coalescer through the
+:class:`~repro.interference.congruence.CongruenceClasses` it drives, which
+are wired to one pluggable
+:class:`~repro.interference.base.InterferenceOracle` backend (``matrix`` /
+``query`` / ``incremental``): the loop itself never sees a concrete graph or
+query object, so every backend coalesces through the identical code path —
+the bit-identity guarantee the property suite checks.
 """
 
 from __future__ import annotations
@@ -54,6 +62,11 @@ class CoalescingStats:
     coalesced: int = 0
     shared: int = 0
     remaining_affinities: List[Affinity] = field(default_factory=list)
+    #: Interference query counters at the end of the run (copied from the
+    #: congruence layer: pairwise queries issued, and class-vs-class checks
+    #: answered from merged matrix rows without any pairwise query).
+    pair_queries: int = 0
+    class_row_checks: int = 0
 
     @property
     def remaining(self) -> int:
@@ -169,4 +182,6 @@ class AggressiveCoalescer:
                 stats.coalesced += 1
             else:
                 stats.remaining_affinities.append(affinity)
+        stats.pair_queries = self.classes.pair_queries
+        stats.class_row_checks = self.classes.class_row_checks
         return stats

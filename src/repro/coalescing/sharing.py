@@ -22,8 +22,8 @@ from typing import Dict, Iterable, List
 from repro.ir.function import Function
 from repro.ir.instructions import Variable
 from repro.ir.positions import definition_points
+from repro.interference.base import InterferenceOracle
 from repro.interference.congruence import CongruenceClasses
-from repro.interference.definitions import InterferenceTest
 from repro.coalescing.engine import Affinity
 from repro.ssa.values import ValueTable
 
@@ -38,14 +38,15 @@ def _variables_by_value(function: Function, values: ValueTable) -> Dict[object, 
 def apply_copy_sharing(
     function: Function,
     classes: CongruenceClasses,
-    test: InterferenceTest,
+    test: InterferenceOracle,
     remaining: Iterable[Affinity],
 ) -> int:
     """Try to remove remaining copies by sharing an already-live same-value variable.
 
     Marks the removed affinities with ``affinity.shared = True`` and returns
-    how many copies were removed.  Requires a value-based
-    :class:`InterferenceTest` (``test.values`` must be available).
+    how many copies were removed.  Requires a value-based interference
+    backend (``test.values`` must be available); any backend of the
+    pluggable stack works, the sharing rule only needs the protocol surface.
     """
     values = test.values
     if values is None:

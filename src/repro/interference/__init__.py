@@ -1,18 +1,37 @@
-"""Interference: definitions, graph representation, congruence classes."""
+"""Interference: the pluggable backend stack, graph representation, congruence classes.
 
-from repro.interference.definitions import (
+The stack mirrors the liveness one: one protocol
+(:class:`~repro.interference.base.InterferenceOracle`), three backends —
+``query`` (pairwise dominance/value queries, the paper's contribution),
+``matrix`` (eager half bit-matrix) and ``incremental`` (the matrix kept valid
+across pass-emitted edit logs) — selected per engine via
+``EngineConfig.interference`` / CLI ``--interference``.
+"""
+
+from repro.interference.base import (
     InterferenceKind,
-    InterferenceTest,
-    make_interference_test,
+    InterferenceOracle,
+    QueryInterference,
 )
-from repro.interference.graph import InterferenceGraph
+from repro.interference.definitions import InterferenceTest, make_interference_test
+from repro.interference.graph import (
+    IncrementalMatrixInterference,
+    InterferenceGraph,
+    MatrixInterference,
+    scan_interference_edges,
+)
 from repro.interference.congruence import CongruenceClass, CongruenceClasses
 
 __all__ = [
     "InterferenceKind",
+    "InterferenceOracle",
+    "QueryInterference",
+    "MatrixInterference",
+    "IncrementalMatrixInterference",
     "InterferenceTest",
     "make_interference_test",
     "InterferenceGraph",
+    "scan_interference_edges",
     "CongruenceClass",
     "CongruenceClasses",
 ]

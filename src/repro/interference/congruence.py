@@ -28,14 +28,14 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ir.instructions import Variable
-from repro.interference.definitions import InterferenceKind, InterferenceTest
+from repro.interference.base import InterferenceKind, InterferenceOracle
 from repro.liveness.intersection import IntersectionOracle
 
 
 class CongruenceClass:
     """One set of coalesced variables, kept sorted in dominance pre-order ≺."""
 
-    __slots__ = ("members", "register", "equal_anc_in")
+    __slots__ = ("members", "register", "equal_anc_in", "slot_mask", "adj_mask")
 
     def __init__(self, members: Iterable[Variable] = (), register: Optional[str] = None) -> None:
         self.members: List[Variable] = list(members)
@@ -45,6 +45,12 @@ class CongruenceClass:
         self.equal_anc_in: Dict[Variable, Optional[Variable]] = {
             member: None for member in self.members
         }
+        #: Matrix-backed class rows (``None`` = not computed yet, ``-1`` = a
+        #: member is outside the matrix universe): the members' slot bits and
+        #: their merged symmetric adjacency — coalesces OR these instead of
+        #: re-deriving anything, and a class-vs-class check is one AND.
+        self.slot_mask: Optional[int] = None
+        self.adj_mask: Optional[int] = None
 
     def __iter__(self):
         return iter(self.members)
@@ -65,21 +71,55 @@ class InterferenceBetweenClasses(Exception):
 
 
 class CongruenceClasses:
-    """All congruence classes of a function plus the class-vs-class checks."""
+    """All congruence classes of a function plus the class-vs-class checks.
+
+    Accepts either form of the interference stack:
+
+    * ``CongruenceClasses(backend)`` — one
+      :class:`~repro.interference.base.InterferenceOracle` backend; the
+      intersection oracle is taken from it (``backend.oracle``);
+    * ``CongruenceClasses(oracle, test)`` — the historical two-argument form
+      (an :class:`~repro.liveness.intersection.IntersectionOracle` plus a
+      pairwise test), kept for the existing call sites.
+
+    When the backend is matrix-backed (``supports_class_rows``) and the
+    quadratic check would otherwise run, class-vs-class interference is
+    answered from per-class adjacency rows instead: each class carries the OR
+    of its members' matrix rows, coalesces merge the rows (one OR), and a
+    check is a single AND against the other class's slot bits —
+    ``class_row_checks`` counts how many pairwise sweeps that replaced.
+    """
 
     def __init__(
         self,
-        oracle: IntersectionOracle,
-        test: InterferenceTest,
+        oracle,
+        test=None,
         use_linear_check: bool = True,
     ) -> None:
-        self.oracle = oracle
-        self.test = test
+        if test is None:
+            if not isinstance(oracle, InterferenceOracle):
+                raise TypeError(
+                    "single-argument construction expects an InterferenceOracle "
+                    f"backend, not {type(oracle).__name__}"
+                )
+            self.test = oracle
+            self.oracle: IntersectionOracle = oracle.oracle
+        else:
+            self.oracle = oracle
+            self.test = test
         self.use_linear_check = use_linear_check
+        #: Whether class-vs-class checks may be answered from merged matrix
+        #: rows (matrix-backed test, no linear sweep configured).
+        self._class_rows = (
+            not use_linear_check and getattr(self.test, "supports_class_rows", False)
+        )
         self._class_of: Dict[Variable, CongruenceClass] = {}
         #: Number of variable-to-variable interference queries issued by the
         #: class-vs-class checks (reported by the Figure 6 harness).
         self.pair_queries = 0
+        #: Class-vs-class checks answered from merged matrix rows (no
+        #: pairwise queries at all).
+        self.class_row_checks = 0
 
     # -- class management --------------------------------------------------------------
     def ensure(self, var: Variable) -> CongruenceClass:
@@ -142,6 +182,30 @@ class CongruenceClasses:
     def _pair_interferes(self, a: Variable, b: Variable) -> bool:
         self.pair_queries += 1
         return self.test.interferes(a, b)
+
+    # -- matrix-backed class rows ---------------------------------------------------------
+    def _row_masks(self, cls: CongruenceClass) -> Optional[Tuple[int, int]]:
+        """``(slot bits, merged adjacency)`` of a class, or ``None`` when a
+        member falls outside the matrix universe.  Computed lazily once per
+        class; merges combine the parents' masks with two ORs."""
+        if cls.slot_mask is not None:
+            if cls.slot_mask < 0:
+                return None
+            return cls.slot_mask, cls.adj_mask  # type: ignore[return-value]
+        slot_of = self.test.slot
+        adjacency = self.test.adjacency_bits
+        slots = 0
+        adj = 0
+        for member in cls.members:
+            slot = slot_of(member)
+            if slot is None:
+                cls.slot_mask = -1
+                return None
+            slots |= 1 << slot
+            adj |= adjacency(member)
+        cls.slot_mask = slots
+        cls.adj_mask = adj
+        return slots, adj
 
     # -- quadratic reference check ----------------------------------------------------------
     def interfere_quadratic(
@@ -299,6 +363,17 @@ class CongruenceClasses:
         linear_ok = self.test.kind in (InterferenceKind.INTERSECT, InterferenceKind.VALUE)
         if self.use_linear_check and linear_ok and not skip_pairs:
             return self.interfere_linear(left, right)
+        if self._class_rows and not skip_pairs:
+            # Matrix-backed classes: the merged adjacency row of one class
+            # against the slot bits of the other answers the whole quadratic
+            # sweep in one AND (the matrix already stores the notion-specific
+            # verdict for every universe pair).
+            if not (left.register and right.register and left.register != right.register):
+                left_masks = self._row_masks(left)
+                right_masks = self._row_masks(right)
+                if left_masks is not None and right_masks is not None:
+                    self.class_row_checks += 1
+                    return bool(left_masks[1] & right_masks[0]), {}
         return self.interfere_quadratic(left, right, skip_pairs), {}
 
     def merge(
@@ -327,6 +402,16 @@ class CongruenceClasses:
                 j += 1
 
         result = CongruenceClass(merged_members, register=left.register or right.register)
+        if (
+            left.slot_mask is not None
+            and right.slot_mask is not None
+            and left.slot_mask >= 0
+            and right.slot_mask >= 0
+        ):
+            # Coalescing merges the matrix rows: the class's slot bits and
+            # adjacency are the OR of its parents' — no re-derivation.
+            result.slot_mask = left.slot_mask | right.slot_mask
+            result.adj_mask = (left.adj_mask or 0) | (right.adj_mask or 0)
         equal_anc_out = equal_anc_out or {}
         for member in merged_members:
             inside = (

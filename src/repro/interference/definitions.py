@@ -1,20 +1,17 @@
 """The three interference definitions compared in the paper (§III-A, §III-E).
 
-Given two SSA variables ``a`` and ``b``:
+Since the backend refactor the notions (:class:`InterferenceKind`) and the
+pairwise test machinery live in :mod:`repro.interference.base`, where they
+are shared by every backend of the pluggable stack (``matrix`` / ``query`` /
+``incremental``).  This module keeps the historical names:
 
-``INTERSECT``
-    they interfere iff their live ranges intersect — the coarsest notion,
-    the "Intersect" variant of Figure 5;
-
-``CHAITIN``
-    they interfere iff one is live at a definition point of the other *and*
-    that definition is not a copy between the two — Chaitin's classic
-    conservative refinement;
-
-``VALUE``
-    they interfere iff their live ranges intersect *and* they carry different
-    SSA values — the paper's contribution, computed from
-    :class:`~repro.ssa.values.ValueTable` at no extra cost.
+* :class:`InterferenceTest` — the original name of what is now the ``query``
+  backend (:class:`~repro.interference.base.QueryInterference`); kept as a
+  subclass so existing constructions, imports and ``isinstance`` checks keep
+  working unchanged;
+* :func:`make_interference_test` — convenience constructor that builds the
+  :class:`~repro.ssa.values.ValueTable` when value-based interference asks
+  for one.
 
 Every test is expressed on top of an
 :class:`~repro.liveness.intersection.IntersectionOracle`, so the same code
@@ -24,82 +21,26 @@ and whether an explicit interference graph is used or not.
 
 from __future__ import annotations
 
-import enum
 from typing import Optional
 
+from repro.interference.base import (  # noqa: F401  (re-exported API surface)
+    InterferenceKind,
+    InterferenceOracle,
+    QueryInterference,
+)
 from repro.ir.function import Function
-from repro.ir.instructions import Copy, ParallelCopy, Variable
+from repro.ir.instructions import Variable  # noqa: F401  (historical re-export)
 from repro.liveness.intersection import IntersectionOracle
 from repro.ssa.values import ValueTable
 
 
-class InterferenceKind(enum.Enum):
-    """Which notion of interference a test implements."""
+class InterferenceTest(QueryInterference):
+    """Pairwise interference test between SSA variables (legacy name).
 
-    INTERSECT = "intersect"
-    CHAITIN = "chaitin"
-    VALUE = "value"
-
-
-class InterferenceTest:
-    """Pairwise interference test between SSA variables."""
-
-    def __init__(
-        self,
-        function: Function,
-        oracle: IntersectionOracle,
-        kind: InterferenceKind,
-        values: Optional[ValueTable] = None,
-    ) -> None:
-        if kind is InterferenceKind.VALUE and values is None:
-            raise ValueError("value-based interference requires a ValueTable")
-        self.function = function
-        self.oracle = oracle
-        self.kind = kind
-        self.values = values
-
-    # -- building blocks -----------------------------------------------------------
-    def intersects(self, a: Variable, b: Variable) -> bool:
-        return self.oracle.intersect(a, b)
-
-    def same_value(self, a: Variable, b: Variable) -> bool:
-        if self.values is None:
-            return False
-        return self.values.same_value(a, b)
-
-    def _is_copy_between(self, defining: Variable, other: Variable) -> bool:
-        """Is the definition of ``defining`` a copy from ``other``?"""
-        def_point = self.oracle.liveness.definition_of(defining)
-        if def_point is None or def_point.instruction is None:
-            return False
-        instruction = def_point.instruction
-        if isinstance(instruction, Copy):
-            return instruction.src == other
-        if isinstance(instruction, ParallelCopy):
-            for dst, src in instruction.pairs:
-                if dst == defining:
-                    return src == other
-        return False
-
-    # -- the test ----------------------------------------------------------------------
-    def interferes(self, a: Variable, b: Variable) -> bool:
-        if a == b:
-            return False
-        if self.kind is InterferenceKind.INTERSECT:
-            return self.intersects(a, b)
-        if self.kind is InterferenceKind.VALUE:
-            return self.intersects(a, b) and not self.same_value(a, b)
-        # Chaitin: live at a definition point which is not a copy between them.
-        live = self.oracle.liveness
-        def_a = live.definition_of(a)
-        def_b = live.definition_of(b)
-        if def_b is not None and live.is_live_after(def_b.block, def_b.index, a):
-            if not self._is_copy_between(b, a):
-                return True
-        if def_a is not None and live.is_live_after(def_a.block, def_a.index, b):
-            if not self._is_copy_between(a, b):
-                return True
-        return False
+    This is the ``query`` interference backend under its pre-refactor name;
+    see :class:`~repro.interference.base.InterferenceOracle` for the full
+    protocol surface it implements.
+    """
 
 
 def make_interference_test(

@@ -259,6 +259,35 @@ class BitLivenessSets(LivenessOracle):
         variable = self.numbering.variable
         return (variable(index) for index in self.live_out[block_label])
 
+    # -- bulk queries ----------------------------------------------------------
+    def blocks_touching(self, variables) -> Set[str]:
+        """Labels whose live-in/live-out rows or def masks mention ``variables``.
+
+        This is the *dirty neighbourhood* of a variable set: every block able
+        to originate an interference edge involving one of the variables
+        (a definition inside it, or liveness across its boundary).  One mask
+        test per block against the authoritative raw rows — the bulk query
+        the incremental interference backend uses to bound its re-scan.
+        """
+        mask = 0
+        ensure = self.numbering.ensure
+        for var in variables:
+            mask |= 1 << ensure(var)
+        if not mask:
+            return set()
+        touching: Set[str] = set()
+        masks = self._masks
+        bits_in = self._bits_in
+        bits_out = self._bits_out
+        for label in self.function.blocks:
+            block_masks = masks.get(label)
+            if block_masks is None:
+                block_masks = masks[label] = self._block_masks(label)
+            combined = bits_in.get(label, 0) | bits_out.get(label, 0) | block_masks[0]
+            if combined & mask:
+                touching.add(label)
+        return touching
+
     # -- maintenance hooks ----------------------------------------------------
     def _index_for(self, var: Variable) -> int:
         """Index of ``var``, growing the universe (and every row) if new."""

@@ -83,6 +83,12 @@ class IncrementalBitLiveness(BitLivenessSets):
         #: Number of :meth:`apply_edits` re-solves served from patched rows.
         self.resolve_count = 0
         self.last_delta: Optional[ResolveDelta] = None
+        #: Labels whose rows the last :meth:`apply_edits` visited or cleared —
+        #: a superset of every row whose bits changed.  Incremental consumers
+        #: of the *same* edit log (the interference matrix) use it to bound
+        #: their own dirty regions: facts outside these blocks involving
+        #: grow-only variables are guaranteed unchanged.
+        self.last_dirty_rows: set = set()
 
     # -- incremental re-solve --------------------------------------------------
     def apply_edits(self, log: EditLog) -> ResolveDelta:
@@ -92,6 +98,7 @@ class IncrementalBitLiveness(BitLivenessSets):
         if not log:
             delta = ResolveDelta(0, 0, 0, 0, 0)
             self.last_delta = delta
+            self.last_dirty_rows = set()
             return delta
 
         touched = {label for label in log.touched_blocks() if label in blocks}
@@ -197,6 +204,7 @@ class IncrementalBitLiveness(BitLivenessSets):
 
         self._positions_stale = True
         self.resolve_count += 1
+        self.last_dirty_rows = {label for label in dirty_rows if label in blocks}
         delta = ResolveDelta(
             edits=len(log),
             affected_variables=len(affected),

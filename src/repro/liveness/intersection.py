@@ -12,7 +12,7 @@ path and differs only in the oracle it plugs in.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cfg.dominance import DominatorTree
 from repro.ir.function import Function
@@ -32,12 +32,35 @@ class IntersectionOracle:
     ) -> None:
         self.function = function
         self.liveness = liveness
-        self.domtree = domtree or DominatorTree(function)
+        self._domtree = domtree
         self.query_count = 0
         # Definition points are fixed for the lifetime of the oracle (the
         # function is only rewritten after coalescing), so the ≺ sort keys
-        # can be cached; class merges re-sort members constantly.
-        self._order_keys: dict = {}
+        # are memoized: each variable's key is computed exactly once, no
+        # matter how many congruence-class merges re-compare it
+        # (``order_key_computations`` counts the misses; a regression test
+        # pins it to the number of distinct variables).  Structural edits
+        # drop the affected entries through :meth:`invalidate_keys`.
+        self._order_keys: Dict[Variable, tuple] = {}
+        #: Fresh ≺-key computations (cache misses); never decremented.
+        self.order_key_computations = 0
+        # Definition-dominance answers are similarly stable between edits and
+        # are re-asked constantly by the congruence sweeps (every stack
+        # pop/push tests the same few pairs); memoized per ordered pair.
+        self._dominates_memo: Dict[Tuple[Variable, Variable], bool] = {}
+
+    @property
+    def domtree(self) -> DominatorTree:
+        """The dominator tree, built lazily on first dominance-flavoured query.
+
+        Pure intersection work over a bit-set liveness backend (e.g. the
+        interference matrix scan under the ``intersect`` notion) never needs
+        it, and on multi-thousand-block stress CFGs building it eagerly would
+        dominate the oracle's construction cost.
+        """
+        if self._domtree is None:
+            self._domtree = DominatorTree(self.function)
+        return self._domtree
 
     def intersect(self, a: Variable, b: Variable) -> bool:
         """Do the live ranges of ``a`` and ``b`` intersect?"""
@@ -51,10 +74,13 @@ class IntersectionOracle:
 
         # In strict SSA two live ranges can only intersect if one definition
         # dominates the other (Budimlić et al.); check the dominated one.
-        if def_a.dominates(def_b, self.domtree):
+        domtree = self._domtree
+        if domtree is None:
+            domtree = self.domtree      # lazily built on first dominance use
+        if def_a.dominates(def_b, domtree):
             if self.liveness.is_live_after(def_b.block, def_b.index, a):
                 return True
-        if def_b.dominates(def_a, self.domtree):
+        if def_b.dominates(def_a, domtree):
             if self.liveness.is_live_after(def_a.block, def_a.index, b):
                 return True
         return False
@@ -63,10 +89,12 @@ class IntersectionOracle:
         """Sort key placing variables in dominance pre-order of their definitions.
 
         This is the order ≺ used to keep congruence classes sorted for the
-        linear interference test (§IV-B).
+        linear interference test (§IV-B).  Memoized: merges and re-sorts hit
+        the cache, so each variable's definition point is located once.
         """
         key = self._order_keys.get(var)
         if key is None:
+            self.order_key_computations += 1
             def_point = self.liveness.definition_of(var)
             if def_point is None:
                 key = (-1, -1, var.name)
@@ -81,11 +109,47 @@ class IntersectionOracle:
 
     def dominates(self, a: Variable, b: Variable) -> bool:
         """Does the definition of ``a`` dominate the definition of ``b``?"""
+        memo_key = (a, b)
+        cached = self._dominates_memo.get(memo_key)
+        if cached is not None:
+            return cached
         def_a = self.liveness.definition_of(a)
         def_b = self.liveness.definition_of(b)
         if def_a is None or def_b is None:
-            return False
-        return def_a.dominates(def_b, self.domtree)
+            answer = False
+        else:
+            answer = def_a.dominates(def_b, self.domtree)
+        self._dominates_memo[memo_key] = answer
+        return answer
+
+    def invalidate_keys(self, variables=None) -> None:
+        """Drop memoized ≺ keys (for ``variables``, or all when ``None``).
+
+        Structural edits move definition points; the incremental backends
+        call this with the edit log's affected set so the next
+        :meth:`dominance_order_key` recomputes from the fresh positions.  The
+        pair-keyed dominance memo cannot be filtered by one endpoint cheaply,
+        so any invalidation clears it whole (it re-fills on demand).
+
+        For edits that change the *CFG itself* (edge splits, new blocks) use
+        :meth:`invalidate_structure` instead: the dominator tree and with it
+        every variable's preorder key are stale, not just the affected ones.
+        """
+        if variables is None:
+            self._order_keys.clear()
+        else:
+            for var in variables:
+                self._order_keys.pop(var, None)
+        self._dominates_memo.clear()
+
+    def invalidate_structure(self) -> None:
+        """Drop everything derived from the CFG shape: the lazily built
+        dominator tree, every memoized ≺ key (their preorder components come
+        from that tree) and the dominance memo.  Called by the incremental
+        backends when an edit log records a split edge or a new block."""
+        self._domtree = None
+        self._order_keys.clear()
+        self._dominates_memo.clear()
 
 
 def live_ranges_intersect(function: Function, a: Variable, b: Variable) -> bool:

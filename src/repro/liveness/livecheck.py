@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from repro.ir.editlog import BLOCK_SPLIT, EditLog
 from repro.ir.function import Function
 from repro.ir.instructions import Variable
 from repro.ir.positions import edge_index
@@ -117,6 +118,71 @@ class LivenessChecker(LivenessOracle):
 
         self._live_in_blocks[var] = live_in
         self._live_out_blocks[var] = live_out
+
+    # -- incremental invalidation ----------------------------------------------------
+    def apply_edits(self, log: EditLog) -> int:
+        """Patch the per-variable answer caches from one structural edit log.
+
+        The checker's two long-lived structures react very differently to
+        edits, which is exactly the paper's point about liveness checking:
+
+        * the CFG-only reachability rows survive any edit that moves,
+          inserts or removes *instructions*; only a CFG change (an edge
+          split, a new block) forces their recomputation;
+        * the lazily-filled per-variable walk caches stay exact for every
+          variable no edit mentions (the :class:`~repro.ir.editlog.EditLog`
+          contract: a block whose instructions mention an affected variable
+          is logged as touched), so only the affected entries are dropped —
+          they refill on the next query instead of the whole oracle being
+          rebuilt.
+
+        Split edges additionally invalidate the cached walks of variables
+        that may be live across (or φ-read on) the split edge: their block
+        sets gain the new block.  The test is conservative — live-out of the
+        split source or live-in of the split target — which can only drop a
+        still-valid cache entry, never keep a stale one.
+
+        Returns the number of cached variable entries dropped.
+        """
+        dropped = 0
+
+        def drop(var: Variable) -> None:
+            nonlocal dropped
+            had = var in self._live_in_blocks or var in self._live_out_blocks
+            self._live_in_blocks.pop(var, None)
+            self._live_out_blocks.pop(var, None)
+            if had:
+                dropped += 1
+
+        for var in log.affected_variables():
+            drop(var)
+
+        cfg_changed = bool(log.new_blocks)
+        for edit in log:
+            if edit.kind != BLOCK_SPLIT or len(edit.blocks) != 3:
+                continue
+            cfg_changed = True
+            source, _new_label, target = edit.blocks
+            stale = [
+                var
+                for var, outs in self._live_out_blocks.items()
+                if source in outs or target in self._live_in_blocks.get(var, ())
+            ]
+            for var in stale:
+                drop(var)
+
+        if cfg_changed:
+            self._labels = list(self.function.blocks)
+            self._label_index = {label: i for i, label in enumerate(self._labels)}
+            self._compute_reachability()
+
+        # Re-index the definition/use position maps eagerly: queries are the
+        # hot path of every LiveCheck engine, so they must stay free of
+        # staleness checks; the patch itself is still far below a rebuild
+        # (the per-variable walk caches — the expensive part — refill only
+        # for the dropped entries).
+        self._index_positions()
+        return dropped
 
     # -- oracle interface ----------------------------------------------------------------
     def is_live_in(self, block_label: str, var: Variable) -> bool:

@@ -24,6 +24,13 @@ LIVENESS_BACKENDS: Dict[str, str] = {
     "incremental": "bit-set rows patched from pass edit logs (delta re-solve)",
 }
 
+#: The pluggable interference backends (CLI ``--interference``, ``repro list``).
+INTERFERENCE_BACKENDS: Dict[str, str] = {
+    "matrix": "eager half bit-matrix graph over the shared numbering",
+    "query": "no graph: dominance/value pairwise queries (InterCheck)",
+    "incremental": "bit-matrix patched from pass edit logs (dirty re-scan)",
+}
+
 #: Policies for a φ-argument defined by the predecessor's terminator.
 ON_BRANCH_DEF_POLICIES = ("split", "error")
 
@@ -41,14 +48,34 @@ class EngineConfig:
     #: implementation), "bitsets" (bit-set rows + worklist, the encoding
     #: Figure 7 evaluates) or "check" (liveness checking, no global sets).
     liveness: str = "bitsets"
-    #: Build an explicit interference graph (bit-matrix) or answer pairwise
-    #: queries directly ("InterCheck").
+    #: Interference backend: "matrix" (eager bit-matrix graph), "query"
+    #: (pairwise dominance/value queries, "InterCheck") or "incremental"
+    #: (the matrix kept valid across pass edit logs).  Empty string derives
+    #: it from the legacy ``use_interference_graph`` flag.
+    interference: str = ""
+    #: Legacy flag: build an explicit interference graph (bit-matrix) or
+    #: answer pairwise queries directly ("InterCheck").  Normalised against
+    #: :attr:`interference` in ``__post_init__``: when ``interference`` is
+    #: given it wins and this flag is derived from it.
     use_interference_graph: bool = True
     #: Use the linear congruence-class interference check instead of the
     #: quadratic all-pairs one.
     linear_class_check: bool = False
     #: What to do when a φ-argument is defined by the predecessor's terminator.
     on_branch_def: str = "split"
+
+    def __post_init__(self) -> None:
+        if not self.interference:
+            object.__setattr__(
+                self, "interference", "matrix" if self.use_interference_graph else "query"
+            )
+        elif self.interference not in INTERFERENCE_BACKENDS:
+            known = ", ".join(sorted(INTERFERENCE_BACKENDS))
+            raise ValueError(
+                f"unknown interference backend {self.interference!r}; "
+                f"known backends: {known}"
+            )
+        object.__setattr__(self, "use_interference_graph", self.interference != "query")
 
     def describe(self) -> str:
         parts = [variant_by_name(self.coalescing).label]
@@ -59,7 +86,12 @@ class EngineConfig:
             "incremental": "incremental bit-set liveness",
         }
         parts.append(liveness_labels.get(self.liveness, self.liveness))
-        parts.append("interference graph" if self.use_interference_graph else "InterCheck")
+        interference_labels = {
+            "matrix": "interference graph",
+            "query": "InterCheck",
+            "incremental": "incremental interference graph",
+        }
+        parts.append(interference_labels.get(self.interference, self.interference))
         parts.append("linear class check" if self.linear_class_check else "quadratic class check")
         return ", ".join(parts)
 
@@ -73,34 +105,34 @@ class EngineConfig:
 ENGINE_CONFIGURATIONS: List[EngineConfig] = [
     EngineConfig(
         name="sreedhar_iii", label="Sreedhar III", coalescing="sreedhar_iii",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", interference="matrix", linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii", label="Us III", coalescing="value_is",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", interference="matrix", linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii_intercheck", label="Us III + InterCheck", coalescing="value_is",
-        liveness="bitsets", use_interference_graph=False, linear_class_check=False,
+        liveness="bitsets", interference="query", linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii_intercheck_livecheck", label="Us III + InterCheck + LiveCheck",
-        coalescing="value_is", liveness="check", use_interference_graph=False,
+        coalescing="value_is", liveness="check", interference="query",
         linear_class_check=False,
     ),
     EngineConfig(
         name="us_iii_linear_intercheck_livecheck",
         label="Us III + Linear + InterCheck + LiveCheck", coalescing="value_is",
-        liveness="check", use_interference_graph=False, linear_class_check=True,
+        liveness="check", interference="query", linear_class_check=True,
     ),
     EngineConfig(
         name="us_i", label="Us I", coalescing="value",
-        liveness="bitsets", use_interference_graph=True, linear_class_check=False,
+        liveness="bitsets", interference="matrix", linear_class_check=False,
     ),
     EngineConfig(
         name="us_i_linear_intercheck_livecheck",
         label="Us I + Linear + InterCheck + LiveCheck", coalescing="value",
-        liveness="check", use_interference_graph=False, linear_class_check=True,
+        liveness="check", interference="query", linear_class_check=True,
     ),
 ]
 
@@ -171,9 +203,19 @@ class EngineConfigBuilder:
         self._overrides["liveness"] = kind
         return self
 
-    def interference_graph(self, enabled: bool = True) -> "EngineConfigBuilder":
-        self._overrides["use_interference_graph"] = bool(enabled)
+    def interference(self, kind: str) -> "EngineConfigBuilder":
+        """Select the interference backend (``matrix`` / ``query`` / ``incremental``)."""
+        if kind not in INTERFERENCE_BACKENDS:
+            known = ", ".join(sorted(INTERFERENCE_BACKENDS))
+            raise ValueError(
+                f"unknown interference backend {kind!r}; known backends: {known}"
+            )
+        self._overrides["interference"] = kind
         return self
+
+    def interference_graph(self, enabled: bool = True) -> "EngineConfigBuilder":
+        """Legacy spelling: ``True`` selects ``matrix``, ``False`` ``query``."""
+        return self.interference("matrix" if enabled else "query")
 
     def linear_class_check(self, enabled: bool = True) -> "EngineConfigBuilder":
         self._overrides["linear_class_check"] = bool(enabled)
@@ -196,9 +238,9 @@ class EngineConfigBuilder:
             parts.append(str(overrides["coalescing"]))
         if overrides.get("liveness", base.liveness) != base.liveness:
             parts.append(str(overrides["liveness"]))
-        if overrides.get("use_interference_graph", base.use_interference_graph) \
-                != base.use_interference_graph:
-            parts.append("graph" if overrides["use_interference_graph"] else "intercheck")
+        if overrides.get("interference", base.interference) != base.interference:
+            suffix = {"matrix": "graph", "query": "intercheck"}
+            parts.append(suffix.get(str(overrides["interference"]), str(overrides["interference"])))
         if overrides.get("linear_class_check", base.linear_class_check) != base.linear_class_check:
             parts.append("linear" if overrides["linear_class_check"] else "quadratic")
         if overrides.get("on_branch_def", base.on_branch_def) != base.on_branch_def:

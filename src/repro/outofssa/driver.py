@@ -37,6 +37,7 @@ from repro.ir.function import Function
 from repro.outofssa.config import (
     DEFAULT_ENGINE,
     ENGINE_CONFIGURATIONS,
+    INTERFERENCE_BACKENDS,
     LIVENESS_BACKENDS,
     EngineConfig,
     EngineConfigBuilder,
@@ -48,6 +49,7 @@ from repro.utils.instrument import AllocationTracker
 __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_CONFIGURATIONS",
+    "INTERFERENCE_BACKENDS",
     "LIVENESS_BACKENDS",
     "EngineConfig",
     "EngineConfigBuilder",

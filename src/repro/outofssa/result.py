@@ -30,8 +30,15 @@ class OutOfSSAStats:
     dynamic_copy_cost: float = 0.0     #: frequency-weighted remaining copies
     pair_queries: int = 0
     intersection_queries: int = 0
+    #: Class-vs-class checks answered from merged matrix rows (no pairwise
+    #: queries at all; matrix-backed engines only).
+    class_row_checks: int = 0
     split_blocks: int = 0
     elapsed_seconds: float = 0.0
+    #: Interference backend the run used ("matrix" / "query" / "incremental").
+    interference_backend: str = ""
+    #: Measured bytes of the interference bit-matrix (0 for the query backend).
+    matrix_bytes: int = 0
     # Inputs to the Figure 7 "evaluated" memory formulas.
     num_blocks: int = 0                #: blocks after copy insertion / splitting
     candidate_variables: int = 0       #: φ-related + copy-related variables

@@ -63,6 +63,9 @@ from typing import Callable, Dict, Iterable, List, Set, Type
 
 from repro.cfg.dominance import DominatorTree
 from repro.cfg.frequency import estimate_block_frequencies
+from repro.coalescing.variants import variant_by_name
+from repro.interference.base import InterferenceKind, InterferenceOracle, QueryInterference
+from repro.interference.graph import IncrementalMatrixInterference, MatrixInterference
 from repro.ir.function import Function
 from repro.liveness.base import LivenessOracle
 from repro.liveness.bitsets import BitLivenessSets
@@ -71,7 +74,12 @@ from repro.liveness.incremental import IncrementalBitLiveness
 from repro.liveness.intersection import IntersectionOracle
 from repro.liveness.livecheck import LivenessChecker
 from repro.liveness.numbering import VariableNumbering
-from repro.outofssa.config import DEFAULT_ENGINE, LIVENESS_BACKENDS, EngineConfig
+from repro.outofssa.config import (
+    DEFAULT_ENGINE,
+    INTERFERENCE_BACKENDS,
+    LIVENESS_BACKENDS,
+    EngineConfig,
+)
 from repro.ssa.values import ValueTable
 
 
@@ -100,6 +108,58 @@ LIVENESS_CLASSES: Dict[str, Type[LivenessOracle]] = {
 }
 assert set(LIVENESS_CLASSES) == set(LIVENESS_BACKENDS)
 
+#: The interference backend class behind each ``EngineConfig.interference``
+#: kind — the same keying discipline as :data:`LIVENESS_CLASSES`.
+INTERFERENCE_CLASSES: Dict[str, Type[InterferenceOracle]] = {
+    "matrix": MatrixInterference,
+    "query": QueryInterference,
+    "incremental": IncrementalMatrixInterference,
+}
+assert set(INTERFERENCE_CLASSES) == set(INTERFERENCE_BACKENDS)
+
+
+def build_interference_backend(
+    cache: "AnalysisCache", universe=None, backend_class=None
+) -> InterferenceOracle:
+    """Construct the interference backend the cache's engine selects.
+
+    ``universe`` restricts the matrix backends to the paper's candidate set
+    (the :class:`~repro.pipeline.phases.InterferencePass` computes it and
+    registers a closed-over builder); without it the universe defaults to
+    every function variable — the right thing for direct/analysis use.
+
+    The interference notion comes from the engine's coalescing variant; the
+    :class:`~repro.ssa.values.ValueTable` is requested from the cache
+    unconditionally, exactly as the pass always has (so the measured Figure 7
+    footprints stay comparable across backends).  The ``incremental`` backend
+    needs bit-set liveness rows underneath; when the engine's own liveness
+    backend is not :class:`~repro.liveness.incremental.IncrementalBitLiveness`
+    a dedicated instance is requested from the cache to back the matrix.
+    """
+    function = cache.function
+    kind: InterferenceKind = variant_by_name(cache.config.coalescing).interference
+    values = cache.get(ValueTable)
+    if backend_class is None:
+        backend_class = cache.interference_class()
+    if backend_class is IncrementalMatrixInterference:
+        live = cache.get(IncrementalBitLiveness)
+        if cache.liveness_class() is IncrementalBitLiveness:
+            oracle = cache.get(IntersectionOracle)
+        else:
+            oracle = IntersectionOracle(function, live, cache.get(DominatorTree))
+        return IncrementalMatrixInterference(
+            function, oracle, kind, values,
+            universe=universe, numbering=cache.get(VariableNumbering),
+        )
+    oracle = cache.get(IntersectionOracle)
+    if backend_class is MatrixInterference:
+        return MatrixInterference(
+            function, oracle, kind, values,
+            universe=universe, numbering=cache.get(VariableNumbering),
+        )
+    return QueryInterference(function, oracle, kind, values)
+
+
 AnalysisBuilder = Callable[["AnalysisCache"], object]
 
 _DEFAULT_BUILDERS: Dict[type, AnalysisBuilder] = {
@@ -119,6 +179,15 @@ _DEFAULT_BUILDERS: Dict[type, AnalysisBuilder] = {
     ValueTable: lambda cache: ValueTable(cache.function, cache.get(DominatorTree)),
     BlockFrequencies: lambda cache: BlockFrequencies(
         estimate_block_frequencies(cache.function, domtree=cache.get(DominatorTree))
+    ),
+    QueryInterference: lambda cache: build_interference_backend(
+        cache, backend_class=QueryInterference
+    ),
+    MatrixInterference: lambda cache: build_interference_backend(
+        cache, backend_class=MatrixInterference
+    ),
+    IncrementalMatrixInterference: lambda cache: build_interference_backend(
+        cache, backend_class=IncrementalMatrixInterference
     ),
 }
 
@@ -213,6 +282,20 @@ class AnalysisCache:
     def liveness(self) -> LivenessOracle:
         """The liveness oracle selected by the engine configuration."""
         return self.get(self.liveness_class())
+
+    # -- interference selection -------------------------------------------------
+    def interference_class(self) -> Type[InterferenceOracle]:
+        """The backend class selected by ``config.interference``."""
+        try:
+            return INTERFERENCE_CLASSES[self.config.interference]
+        except KeyError:
+            raise ValueError(
+                f"unknown interference backend kind {self.config.interference!r}"
+            ) from None
+
+    def interference(self) -> InterferenceOracle:
+        """The interference backend selected by the engine configuration."""
+        return self.get(self.interference_class())
 
     # -- invalidation ----------------------------------------------------------
     def invalidate(self, *analysis_types: type) -> None:

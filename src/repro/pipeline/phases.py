@@ -7,8 +7,10 @@ split into pass objects over a shared :class:`~repro.pipeline.analysis.AnalysisC
    φ-function; φ congruence classes and register-pinned groups are
    pre-coalesced later, once the interference machinery exists.
 2. :class:`InterferencePass` — liveness, live-range intersection, SSA values
-   and the configured interference notion; optionally an explicit interference
-   graph (half bit-matrix) sharing the liveness backend's variable numbering.
+   and the configured interference *backend* (``matrix`` / ``query`` /
+   ``incremental``, see :mod:`repro.interference.base`), registered in the
+   :class:`~repro.pipeline.analysis.AnalysisCache` over the run's restricted
+   candidate universe and sharing the liveness backend's variable numbering.
 3. :class:`CoalescingPass` — aggressive, weight-driven coalescing of all
    copy-related affinities (Figure 5 variants), optionally followed by the
    copy-sharing post-pass.
@@ -23,35 +25,24 @@ from typing import Dict, List, Optional
 from repro.coalescing.engine import Affinity, AggressiveCoalescer, collect_affinities
 from repro.coalescing.sharing import apply_copy_sharing
 from repro.interference.congruence import CongruenceClasses
-from repro.interference.definitions import InterferenceTest
-from repro.interference.graph import InterferenceGraph
+from repro.interference.graph import IncrementalMatrixInterference
 from repro.ir.editlog import EditLog
 from repro.ir.function import Function
 from repro.ir.instructions import Constant, Copy, ParallelCopy, Variable
 from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
 from repro.liveness.incremental import IncrementalBitLiveness
-from repro.liveness.intersection import IntersectionOracle
+from repro.liveness.livecheck import LivenessChecker
 from repro.liveness.numbering import VariableNumbering
 from repro.outofssa.method_i import PhiCopyInsertion, insert_phi_copies
 from repro.outofssa.parallel_copy import sequentialize_parallel_copy
 from repro.outofssa.pinning import pinned_register_groups
-from repro.pipeline.analysis import BlockFrequencies
+from repro.pipeline.analysis import (
+    INTERFERENCE_CLASSES,
+    BlockFrequencies,
+    build_interference_backend,
+)
 from repro.pipeline.passes import PRESERVES_ALL, Pass
-from repro.ssa.values import ValueTable
-
-
-class GraphBackedInterferenceTest(InterferenceTest):
-    """Pairwise interference answered from a pre-built bit-matrix graph."""
-
-    def __init__(self, base: InterferenceTest, graph: InterferenceGraph) -> None:
-        super().__init__(base.function, base.oracle, base.kind, base.values)
-        self.graph = graph
-
-    def interferes(self, a: Variable, b: Variable) -> bool:
-        if a in self.graph and b in self.graph:
-            return self.graph.interferes(a, b)
-        return super().interferes(a, b)
 
 
 def candidate_universe(
@@ -72,6 +63,51 @@ def candidate_universe(
     return list(seen)
 
 
+def _patch_incremental_analyses(ctx, log: EditLog, include_checker: bool = True) -> None:
+    """Feed one edit log to every cached analysis able to consume it.
+
+    The order matters: the incremental liveness rows first (the matrix
+    backend locates its dirty blocks through them), then the liveness
+    checker's per-variable caches, then the incremental interference matrix.
+    Every patched analysis is vouched for via ``ctx.patched_analyses`` so the
+    :class:`~repro.pipeline.pipeline.PassManager` re-stamps instead of
+    dropping it.
+    """
+    cache = ctx.analyses
+    live: Optional[IncrementalBitLiveness] = cache.cached(IncrementalBitLiveness)
+    checker: Optional[LivenessChecker] = (
+        cache.cached(LivenessChecker) if include_checker else None
+    )
+    matrix: Optional[IncrementalMatrixInterference] = cache.cached(
+        IncrementalMatrixInterference
+    )
+    if live is not None:
+        live.apply_edits(log)
+        # The numbering only grew (append-only), so it is vouched for too;
+        # dropping it would hand later consumers a second instance with
+        # different indices than the preserved rows.
+        ctx.patched_analyses.extend([IncrementalBitLiveness, VariableNumbering])
+    if checker is not None:
+        checker.apply_edits(log)
+        ctx.patched_analyses.append(LivenessChecker)
+    if matrix is not None:
+        if matrix.oracle.liveness is not live:
+            # The matrix rides on its own bit-liveness instance (the engine's
+            # configured backend is a different one): patch it first.
+            matrix.oracle.liveness.apply_edits(log)
+        matrix.apply_edits(log)
+        ctx.patched_analyses.extend([IncrementalMatrixInterference, VariableNumbering])
+
+
+def _has_incremental_consumers(ctx, include_checker: bool = True) -> bool:
+    cache = ctx.analyses
+    return (
+        cache.cached(IncrementalBitLiveness) is not None
+        or (include_checker and cache.cached(LivenessChecker) is not None)
+        or cache.cached(IncrementalMatrixInterference) is not None
+    )
+
+
 # --------------------------------------------------------------------------- phase 1
 class IsolationPass(Pass):
     """Method I: isolate φ-functions behind parallel copies."""
@@ -80,28 +116,23 @@ class IsolationPass(Pass):
     preserves = ()  # inserts copies, may split blocks: everything is stale
 
     def run(self, ctx) -> None:
-        # Warm-cache fast path (JIT re-translation): a live incremental
-        # liveness survives the insertion as a patch instead of a recompute.
-        live: Optional[IncrementalBitLiveness] = None
-        if ctx.config.liveness == "incremental":
-            live = ctx.analyses.cached(IncrementalBitLiveness)
+        # Warm-cache fast path (JIT re-translation): incremental liveness
+        # rows, livecheck answer caches and the incremental interference
+        # matrix all survive the insertion as a patch instead of a recompute.
+        patchable = _has_incremental_consumers(ctx)
 
         insertion = insert_phi_copies(ctx.function, on_branch_def=ctx.config.on_branch_def)
         ctx.insertion = insertion
         ctx.stats.inserted_phi_copies = insertion.inserted_copy_count
         ctx.stats.split_blocks = len(insertion.split_blocks)
 
-        if live is not None:
-            live.apply_edits(insertion.edit_log())
-            # The numbering only grew (append-only), so it is vouched for too;
-            # dropping it would hand later consumers a second instance with
-            # different indices than the preserved rows.
-            ctx.patched_analyses.extend([IncrementalBitLiveness, VariableNumbering])
+        if patchable:
+            _patch_incremental_analyses(ctx, insertion.edit_log())
 
 
 # --------------------------------------------------------------------------- phase 2
 class InterferencePass(Pass):
-    """Set up the analyses and the configured interference test."""
+    """Set up the analyses and the configured interference backend."""
 
     name = "interference"
     preserves = PRESERVES_ALL  # pure analysis: the function is not mutated
@@ -118,9 +149,6 @@ class InterferencePass(Pass):
             ctx.frequencies = cache.get(BlockFrequencies)
 
         liveness = cache.liveness()
-        oracle = cache.get(IntersectionOracle)
-        values = cache.get(ValueTable)
-        test = InterferenceTest(function, oracle, ctx.variant.interference, values)
 
         affinities = collect_affinities(function, ctx.insertion, ctx.frequencies)
         stats.affinities = len(affinities)
@@ -133,18 +161,30 @@ class InterferencePass(Pass):
                 len(s) for s in liveness.live_in.values()
             ) + sum(len(s) for s in liveness.live_out.values())
 
-        graph = None
-        if config.use_interference_graph:
-            # One dense numbering per run: the same instance backs the bit-set
-            # liveness rows (when enabled) and this half bit-matrix.
-            numbering = cache.get(VariableNumbering)
-            graph = InterferenceGraph.build(function, test, universe, numbering=numbering)
-            test = GraphBackedInterferenceTest(test, graph)
+        # The configured interference backend, registered in (and served from)
+        # the analysis cache with the run's restricted candidate universe.
+        # One dense numbering per run: the same instance backs the bit-set
+        # liveness rows (when enabled) and the backend's half bit-matrix.
+        backend_class = INTERFERENCE_CLASSES[config.interference]
+        cached_backend = cache.cached(backend_class)
+        if isinstance(cached_backend, IncrementalMatrixInterference):
+            # Warm re-run: the matrix survived the previous run patched; only
+            # candidates it has never seen need their edges scanned in.
+            cached_backend.extend_universe(universe)
+        else:
+            cache.register(
+                backend_class,
+                lambda c, _cls=backend_class, _universe=universe: build_interference_backend(
+                    c, universe=_universe, backend_class=_cls
+                ),
+            )
+        test = cache.get(backend_class)
+        stats.interference_backend = config.interference
 
         ctx.affinities = affinities
         ctx.universe = universe
         ctx.test = test
-        ctx.graph = graph
+        ctx.graph = getattr(test, "graph", None)
 
 
 # --------------------------------------------------------------------------- phase 3
@@ -158,10 +198,9 @@ class CoalescingPass(Pass):
 
     def run(self, ctx) -> None:
         config = ctx.config
-        oracle = ctx.analyses.get(IntersectionOracle)
-        classes = CongruenceClasses(
-            oracle, ctx.test, use_linear_check=config.linear_class_check
-        )
+        # The backend carries its own intersection oracle; the single-argument
+        # form wires both sides of the congruence machinery to it.
+        classes = CongruenceClasses(ctx.test, use_linear_check=config.linear_class_check)
 
         # Pre-coalesce φ-nodes and register-pinned groups.
         for members in ctx.insertion.phi_nodes:
@@ -194,13 +233,18 @@ class MaterializationPass(Pass):
         function = ctx.function
         stats = ctx.stats
 
-        # Fetch the oracle *before* mutating: the generation-checked cache
-        # would (rightly) refuse to serve it afterwards.
-        oracle = ctx.analyses.get(IntersectionOracle)
-        live: Optional[IncrementalBitLiveness] = None
-        if ctx.config.liveness == "incremental":
-            live = ctx.analyses.cached(IncrementalBitLiveness)
-        edit_log = EditLog() if live is not None else None
+        # The backend's intersection oracle, fetched *before* mutating (the
+        # generation-checked cache would rightly refuse to serve analyses
+        # afterwards; the backend already holds its references).
+        oracle = ctx.test.oracle
+        # Patching the LivenessChecker across materialization only pays off
+        # when someone can query the cache after the run (a caller-owned,
+        # warm cache); for run-private caches it would be pure edit-logging
+        # overhead on the hottest engines, so it is skipped.
+        include_checker = ctx.external_cache
+        edit_log = (
+            EditLog() if _has_incremental_consumers(ctx, include_checker) else None
+        )
 
         rename_map = build_rename_map(function, ctx.classes)
         shared_destinations = {
@@ -213,16 +257,17 @@ class MaterializationPass(Pass):
             edit_log=edit_log,
         )
 
-        if live is not None:
+        if edit_log is not None:
             if rename_map:
                 edit_log.variables_renamed(rename_map)
-            live.apply_edits(edit_log)
-            # The translated function's liveness is served patched, not
+            # The translated function's analyses are served patched, not
             # recomputed — e.g. to a register allocator running next.
-            ctx.patched_analyses.extend([IncrementalBitLiveness, VariableNumbering])
+            _patch_incremental_analyses(ctx, edit_log, include_checker)
 
         stats.pair_queries = ctx.classes.pair_queries
+        stats.class_row_checks = ctx.classes.class_row_checks
         stats.intersection_queries = oracle.query_count
+        stats.matrix_bytes = ctx.test.matrix_bytes()
         ctx.rename_map = rename_map
 
 

@@ -71,8 +71,8 @@ class PipelineContext:
     insertion: Optional[object] = None      #: PhiCopyInsertion
     affinities: List = field(default_factory=list)
     universe: List = field(default_factory=list)
-    test: Optional[object] = None           #: InterferenceTest
-    graph: Optional[object] = None          #: InterferenceGraph, when built
+    test: Optional[object] = None           #: InterferenceOracle backend
+    graph: Optional[object] = None          #: its InterferenceGraph, when built
     classes: Optional[object] = None        #: CongruenceClasses
     coalescing: Optional[object] = None     #: CoalescingStats
     rename_map: Dict = field(default_factory=dict)
@@ -80,6 +80,12 @@ class PipelineContext:
     #: the PassManager adds them to the pass's preserve-set, re-stamps their
     #: generation, and clears this list before the next pass runs.
     patched_analyses: List[type] = field(default_factory=list)
+    #: Whether the analysis cache was handed in by the caller (who may keep
+    #: querying it after the run) rather than created for this run.  Pure
+    #: post-run conveniences — like patching the LivenessChecker's answer
+    #: caches across materialization — are skipped for run-private caches,
+    #: which nobody can observe afterwards.
+    external_cache: bool = False
     #: Wall-clock seconds per pass name (accumulated by the PassManager).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -186,6 +192,7 @@ class Pipeline:
         """
         tracker = tracker if tracker is not None else AllocationTracker()
         stats = OutOfSSAStats()
+        external_cache = cache is not None
         if cache is None:
             cache = AnalysisCache(function, self.config)
         elif cache.function is not function:
@@ -205,6 +212,7 @@ class Pipeline:
             tracker=tracker,
             variant=variant_by_name(self.config.coalescing),
             frequencies=dict(frequencies) if frequencies is not None else None,
+            external_cache=external_cache,
         )
         start = time.perf_counter()
         with track_allocations(tracker):

@@ -146,3 +146,42 @@ class TestStress:
     def test_stress_rejects_bad_blocks(self):
         with pytest.raises(SystemExit, match="invalid --blocks"):
             main(["stress", "--blocks", "abc"])
+
+
+class TestInterferenceFlag:
+    def test_translate_with_each_interference_backend(self, lost_copy_file, capsys):
+        outputs = []
+        for backend in ("matrix", "query", "incremental"):
+            assert main([
+                "translate", lost_copy_file, "--engine", "us_i",
+                "--interference", backend,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_translate_rejects_unknown_interference(self, lost_copy_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["translate", lost_copy_file, "--interference", "bogus"])
+
+    def test_list_shows_interference_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "interference backends (--interference):" in out
+        for backend in ("matrix", "query", "incremental"):
+            assert backend in out
+
+    def test_stress_interference_experiment(self, capsys):
+        assert main([
+            "stress", "--blocks", "80", "--repeats", "1",
+            "--experiment", "interference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental (ms)" in out and "matrix (KiB)" in out
+
+    def test_stress_both_experiments(self, capsys):
+        assert main([
+            "stress", "--blocks", "80", "--repeats", "1", "--experiment", "both",
+            "--irreducible", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cold rpo (ms)" in out and "matrix (KiB)" in out

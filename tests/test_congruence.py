@@ -163,3 +163,120 @@ class TestInterferenceChecks:
         classes.make_class([v("a"), v("b")])
         classes.class_of(v("c"))
         assert len(classes.classes()) == 2
+
+
+# --------------------------------------------------------------------------- ≺-key memoization
+class TestOrderKeyMemoization:
+    """The ≺ sort keys are memoized on the intersection oracle: however many
+    class merges re-compare variables, each key is computed exactly once (the
+    regression the ``order_key_computations`` counter pins down)."""
+
+    def test_keys_computed_once_across_repeated_merges(self):
+        for function in generated_programs(count=2, size=30):
+            function = function.copy()
+            insertion = insert_phi_copies(function)
+            oracle = IntersectionOracle(function, LivenessSets(function))
+            test = make_interference_test(function, oracle, InterferenceKind.VALUE)
+            classes = CongruenceClasses(oracle, test, use_linear_check=True)
+            for members in insertion.phi_nodes:
+                classes.make_class(members)
+            from repro.coalescing.engine import collect_affinities
+
+            for affinity in collect_affinities(function, insertion):
+                classes.try_coalesce(affinity.dst, affinity.src)
+            touched = {
+                var
+                for cls in classes.classes()
+                for var in cls.members
+            }
+            # One computation per distinct variable the machinery ever sorted,
+            # no matter how many merges re-compared it.
+            assert oracle.order_key_computations <= len(oracle._order_keys)
+            assert set(oracle._order_keys) >= touched
+            before = oracle.order_key_computations
+            # Re-sorting everything again is pure cache hits.
+            for cls in classes.classes():
+                sorted(cls.members, key=oracle.dominance_order_key)
+            assert oracle.order_key_computations == before
+
+    def test_invalidate_keys_drops_only_affected(self):
+        function = straight_line_copies()
+        oracle = IntersectionOracle(function, LivenessSets(function))
+        key_a = oracle.dominance_order_key(v("a"))
+        oracle.dominance_order_key(v("b"))
+        assert oracle.order_key_computations == 2
+        oracle.invalidate_keys([v("a")])
+        assert oracle.dominance_order_key(v("b")) is not None
+        assert oracle.order_key_computations == 2      # b was still cached
+        assert oracle.dominance_order_key(v("a")) == key_a
+        assert oracle.order_key_computations == 3      # a was recomputed
+
+    def test_dominates_is_memoized(self):
+        function = straight_line_copies()
+        oracle = IntersectionOracle(function, LivenessSets(function))
+        assert oracle.dominates(v("a"), v("b"))
+        assert (v("a"), v("b")) in oracle._dominates_memo
+        assert oracle.dominates(v("a"), v("b"))
+        oracle.invalidate_keys()
+        assert not oracle._dominates_memo
+
+
+# --------------------------------------------------------------------------- class rows
+class TestMatrixClassRows:
+    """Matrix-backed class checks: merged adjacency rows answer class-vs-class
+    interference without any pairwise query, and always agree with the
+    quadratic reference."""
+
+    def _matrix_classes(self, function, kind, universe=None):
+        from repro.interference.graph import MatrixInterference
+        from repro.liveness.bitsets import BitLivenessSets
+
+        oracle = IntersectionOracle(function, BitLivenessSets(function))
+        from repro.ssa.values import ValueTable
+
+        values = ValueTable(function, oracle.domtree) if kind is InterferenceKind.VALUE else None
+        backend = MatrixInterference(function, oracle, kind, values, universe=universe)
+        return CongruenceClasses(backend, use_linear_check=False)
+
+    @pytest.mark.parametrize("kind", [InterferenceKind.INTERSECT, InterferenceKind.VALUE])
+    def test_row_checks_agree_with_quadratic_and_skip_queries(self, kind):
+        from repro.coalescing.engine import collect_affinities
+
+        for function in generated_programs(count=3, size=30):
+            function = function.copy()
+            insertion = insert_phi_copies(function)
+            rows = self._matrix_classes(function, kind)
+            reference = build_classes(function, kind, linear=False)
+            for members in insertion.phi_nodes:
+                rows.make_class(members)
+                reference.make_class(members)
+            for affinity in collect_affinities(function, insertion):
+                left, right = rows.class_of(affinity.dst), rows.class_of(affinity.src)
+                ref_left = reference.class_of(affinity.dst)
+                ref_right = reference.class_of(affinity.src)
+                if left is right:
+                    continue
+                row_answer, _ = rows.interfere(left, right)
+                ref_answer = reference.interfere_quadratic(ref_left, ref_right)
+                assert row_answer == ref_answer, (function.name, str(affinity.dst))
+                if not row_answer:
+                    rows.merge(left, right)
+                    reference.merge(ref_left, ref_right)
+            assert rows.class_row_checks > 0
+            assert rows.pair_queries == 0      # every check came from the rows
+
+    def test_non_universe_member_falls_back_to_quadratic(self):
+        function = figure4_lost_copy_problem()
+        insertion = insert_phi_copies(function)
+        members = insertion.phi_nodes[0]
+        # Restrict the matrix so one φ member is outside its universe.
+        rows = self._matrix_classes(
+            function, InterferenceKind.INTERSECT, universe=list(members)[:1]
+        )
+        left = rows.make_class(members)
+        other = next(
+            var for var in function.variables() if var not in left.members
+        )
+        answer, _ = rows.interfere(left, rows.class_of(other))
+        assert rows.class_row_checks == 0     # fell back: member without a slot
+        assert isinstance(answer, bool)

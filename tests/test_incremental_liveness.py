@@ -243,3 +243,131 @@ class TestGenerationGuard:
         live = cache.get(BitLivenessSets)
         validate_function(function)  # read-only: must not look like a mutation
         assert cache.get(BitLivenessSets) is live
+
+
+# --------------------------------------------------------------------------- livecheck invalidation
+class TestLiveCheckInvalidation:
+    """``LivenessChecker.apply_edits``: patch the per-variable answer caches
+    from edit logs instead of rebuilding the oracle (ROADMAP follow-up)."""
+
+    def _checker(self, function):
+        from repro.liveness.livecheck import LivenessChecker
+
+        return LivenessChecker(function)
+
+    def _assert_matches_fresh(self, checker, function):
+        from repro.liveness.livecheck import LivenessChecker
+
+        fresh = LivenessChecker(function)
+        for label in function.blocks:
+            for var in function.variables():
+                assert checker.is_live_in(label, var) == fresh.is_live_in(label, var), (
+                    f"live-in mismatch for {var} at {label}"
+                )
+                assert checker.is_live_out(label, var) == fresh.is_live_out(label, var), (
+                    f"live-out mismatch for {var} at {label}"
+                )
+
+    def test_patched_checker_matches_fresh_after_edit_batches(self):
+        from repro.bench.corpus import CorpusSpec, generate_stress_cfg, random_edit_batch
+
+        for seed in (0, 7, 23):
+            function = generate_stress_cfg(CorpusSpec(seed=seed, blocks=40, variables=6))
+            checker = self._checker(function)
+            # Warm the per-variable caches before editing.
+            for var in function.variables():
+                checker.is_live_in(function.entry_label, var)
+            for batch in range(3):
+                log = random_edit_batch(function, seed=seed ^ (batch + 1))
+                checker.apply_edits(log)
+                self._assert_matches_fresh(checker, function)
+
+    def test_unaffected_cached_walks_survive(self):
+        function = loop_function()
+        checker = self._checker(function)
+        for var in function.variables():
+            checker.is_live_in(function.entry_label, var)
+        cached_before = set(checker._live_in_blocks)
+        target = function.variables()[0]
+        log = EditLog()
+        fresh = function.new_variable("patch")
+        block = next(iter(function.blocks))
+        function.blocks[block].body.insert(0, Copy(fresh, target))
+        log.copy_inserted(block, fresh, target)
+        checker.apply_edits(log)
+        # Only the two variables the edit mentions were dropped.
+        assert cached_before - set(checker._live_in_blocks) <= {target, fresh}
+        assert len(cached_before) - len(set(checker._live_in_blocks) & cached_before) <= 1
+        self._assert_matches_fresh(checker, function)
+
+    def test_split_edges_rebuild_reachability_and_drop_crossing_walks(self):
+        function = diamond_function()
+        checker = self._checker(function)
+        for var in function.variables():
+            checker.is_live_out(function.entry_label, var)
+        log = EditLog()
+        new_block = function.split_edge("entry", "left")
+        log.block_split("entry", "left", new_block.label)
+        checker.apply_edits(log)
+        assert new_block.label in checker._labels
+        self._assert_matches_fresh(checker, function)
+
+    def test_pipeline_patches_the_checker_through_materialization(self):
+        from repro.liveness.livecheck import LivenessChecker
+
+        config = engine_by_name("us_iii_intercheck_livecheck")
+        function = build_suite(scale=0.3, benchmarks=["164.gzip"])["164.gzip"][0]
+        cache = AnalysisCache(function, config)
+        Pipeline.for_engine(config).run(function, cache=cache)
+        # Built once (by the interference pass) and patched — not rebuilt —
+        # by the materialization pass.
+        assert cache.constructions[LivenessChecker] == 1
+        checker = cache.cached(LivenessChecker)
+        assert checker is not None
+        self._assert_matches_fresh(checker, function)
+
+
+# --------------------------------------------------------------------------- incremental interference wiring
+class TestIncrementalInterferenceWiring:
+    def test_incremental_backend_cached_and_patched_through_materialization(self):
+        from repro.interference.graph import IncrementalMatrixInterference, MatrixInterference
+        from repro.liveness.intersection import IntersectionOracle
+
+        config = (
+            EngineConfig.builder("us_i")
+            .liveness("incremental")
+            .interference("incremental")
+            .build()
+        )
+        function = build_suite(scale=0.3, benchmarks=["164.gzip"])["164.gzip"][0]
+        cache = AnalysisCache(function, config)
+        Pipeline.for_engine(config).run(function, cache=cache)
+        backend = cache.cached(IncrementalMatrixInterference)
+        assert backend is not None
+        assert cache.constructions[IncrementalMatrixInterference] == 1
+        assert cache.constructions[VariableNumbering] == 1
+        assert backend.resolve_count == 1     # patched by materialization
+        # The patched matrix describes the *materialized* function: a cold
+        # rebuild over the same universe ordering is bit-identical.
+        cold = MatrixInterference(
+            function,
+            IntersectionOracle(function, BitLivenessSets(function)),
+            backend.kind,
+            backend.values,
+            universe=backend.graph.variables(),
+        )
+        assert backend.graph.row_bits() == cold.graph.row_bits()
+
+    def test_all_engines_bit_identical_under_incremental_backend(self):
+        from repro.ir.printer import format_function
+
+        suite = build_suite(scale=0.3, benchmarks=["181.mcf"])
+        for base in ("us_i", "us_iii", "sreedhar_iii"):
+            config = engine_by_name(base)
+            derived = EngineConfig.builder(config).interference("incremental").build()
+            for functions in suite.values():
+                for function in functions:
+                    a, b = function.copy(), function.copy()
+                    Pipeline.for_engine(config).run(a)
+                    Pipeline.for_engine(derived).run(b)
+                    assert format_function(a) == format_function(b)

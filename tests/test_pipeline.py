@@ -10,9 +10,10 @@ from repro.coalescing.engine import AggressiveCoalescer, collect_affinities
 from repro.coalescing.sharing import apply_copy_sharing
 from repro.coalescing.variants import variant_by_name
 from repro.gallery import figure2_branch_with_decrement
+from repro.interference.base import QueryInterference
 from repro.interference.congruence import CongruenceClasses
 from repro.interference.definitions import InterferenceTest
-from repro.interference.graph import InterferenceGraph
+from repro.interference.graph import InterferenceGraph, MatrixInterference
 from repro.interp import run_function
 from repro.ir import format_function
 from repro.liveness.bitsets import BitLivenessSets
@@ -36,7 +37,6 @@ from repro.pipeline import (
     resolve_engine,
 )
 from repro.pipeline.phases import (
-    GraphBackedInterferenceTest,
     build_rename_map,
     candidate_universe,
     materialize,
@@ -73,7 +73,6 @@ def legacy_destruct_ssa(function, config):
         }[config.liveness](function)
         oracle = IntersectionOracle(function, liveness, domtree)
         values = ValueTable(function, domtree)
-        test = InterferenceTest(function, oracle, variant.interference, values)
 
         affinities = collect_affinities(function, insertion, frequencies)
         stats.affinities = len(affinities)
@@ -86,11 +85,18 @@ def legacy_destruct_ssa(function, config):
                 len(s) for s in liveness.live_in.values()
             ) + sum(len(s) for s in liveness.live_out.values())
 
-        if config.use_interference_graph:
-            graph = InterferenceGraph.build(function, test, universe)
-            test = GraphBackedInterferenceTest(test, graph)
+        # Direct (cache-free) construction of the configured backend — what an
+        # ad-hoc driver writes by hand since the interference stack became
+        # pluggable; the pipeline must reproduce it bit-for-bit.
+        if config.interference == "matrix":
+            test = MatrixInterference(
+                function, oracle, variant.interference, values, universe=universe
+            )
+        else:
+            test = QueryInterference(function, oracle, variant.interference, values)
+        stats.interference_backend = config.interference
 
-        classes = CongruenceClasses(oracle, test, use_linear_check=config.linear_class_check)
+        classes = CongruenceClasses(test, use_linear_check=config.linear_class_check)
         for members in insertion.phi_nodes:
             classes.make_class(members)
         for register, group in pinned_register_groups(function).items():
@@ -113,7 +119,9 @@ def legacy_destruct_ssa(function, config):
         materialize(function, rename_map, shared_destinations, frequencies, stats)
 
         stats.pair_queries = classes.pair_queries
+        stats.class_row_checks = classes.class_row_checks
         stats.intersection_queries = oracle.query_count
+        stats.matrix_bytes = test.matrix_bytes()
 
     return stats, rename_map
 
