@@ -31,7 +31,15 @@ analysis cache*:
 * one-shot convenience: :func:`~repro.outofssa.driver.destruct_ssa`, a thin
   wrapper over the pipeline kept for backward compatibility;
 * checking behaviour: :func:`~repro.interp.interpreter.run_function`;
-* regenerating the paper's experiments: :mod:`repro.bench`.
+* regenerating the paper's experiments: :mod:`repro.bench`;
+* serving translations as a daemon: :mod:`repro.service` —
+  :class:`~repro.service.translator.TranslationService` (a content-addressed
+  warm cache keyed by IR digest × ``EngineConfig.fingerprint()`` in front of
+  warm sessions), :class:`~repro.service.scheduler.ShardedScheduler`
+  (digest-affine shards, threads for warm traffic / processes for cold
+  batches, in-shard parallel coalescing over the congruence-class matrix
+  rows), and the ``repro serve`` / ``repro request`` daemon pair speaking
+  newline-delimited JSON (see ``docs/SERVICE.md``).
 """
 
 from repro.ir.builder import FunctionBuilder
@@ -51,11 +59,18 @@ from repro.outofssa.driver import (
     engine_by_name,
 )
 from repro.pipeline import AnalysisCache, Pass, PassManager, Pipeline, Session
+from repro.service import (
+    ServiceClient,
+    ShardedScheduler,
+    TranslationCache,
+    TranslationServer,
+    TranslationService,
+)
 from repro.coalescing.variants import VARIANTS, variant_by_name
 from repro.ssa.construction import construct_ssa
 from repro.ssa.copy_folding import fold_copies, value_number
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Function",
@@ -76,7 +91,12 @@ __all__ = [
     "Pass",
     "PassManager",
     "Pipeline",
+    "ServiceClient",
     "Session",
+    "ShardedScheduler",
+    "TranslationCache",
+    "TranslationServer",
+    "TranslationService",
     "VARIANTS",
     "variant_by_name",
     "construct_ssa",

@@ -18,14 +18,26 @@ Commands
     liveness (cold RPO / cold SCC / incremental re-solve) and/or the
     incremental interference matrix vs cold rebuilds
     (``--experiment {liveness,interference,both}``).
+``serve``
+    Run the translation daemon: a sharded scheduler with content-addressed
+    warm caches behind a newline-delimited-JSON socket (see docs/SERVICE.md).
+``request``
+    Drive a running daemon: ``translate`` one or more IR files, or issue the
+    ``stats`` / ``flush`` / ``ping`` / ``shutdown`` maintenance verbs.
+``bench-serve``
+    The service throughput experiment: cold vs warm vs sharded requests/sec
+    over a repeat-heavy stream from the stress corpus.
 ``list``
     List the available engine configurations, coalescing strategies,
-    liveness backends and interference backends.
+    liveness backends and interference backends (``--json`` emits the same
+    catalogue machine-readably, with engine fingerprints for cache-key
+    negotiation).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -35,13 +47,19 @@ from repro.bench.corpus import (
     run_stress,
     scaled_specs,
 )
-from repro.bench.harness import run_figure5, run_figure6, run_figure7
+from repro.bench.harness import (
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_service_throughput,
+)
 from repro.bench.metrics import copy_counts
 from repro.bench.reporting import (
     format_figure5,
     format_figure6,
     format_figure7,
     format_interference_stress,
+    format_service_throughput,
     format_stress,
 )
 from repro.bench.suite import SUITE, build_suite
@@ -189,7 +207,133 @@ def command_stress(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_list(_args: argparse.Namespace) -> int:
+def command_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import TranslationServer
+
+    try:
+        config = engine_by_name(args.engine)
+    except KeyError as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"repro serve: {message}") from None
+    try:
+        server = TranslationServer(
+            (args.host, args.port),
+            engine=config,
+            shards=args.shards,
+            mode=args.mode,
+            capacity=args.capacity,
+            parallel_coalescing=args.parallel_coalescing,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro serve: {error}") from None
+    # Scripts (the CI lane) parse this exact line to learn the bound port.
+    print(f"repro serve: listening on {server.host}:{server.port} "
+          f"(engine {config.name}, {args.shards} shards, {args.mode} mode)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def command_request(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    verb = args.verb
+    if verb in ("translate", "translate_batch") and not args.files:
+        raise SystemExit(f"repro request: {verb} needs at least one IR file")
+    try:
+        with ServiceClient(port=args.port, host=args.host, timeout=args.timeout) as client:
+            if verb in ("translate", "translate_batch"):
+                texts = []
+                for path in args.files:
+                    with open(path) as handle:
+                        texts.append(handle.read())
+                responses = client.translate_batch(texts, engine=args.engine)
+                for path, response in zip(args.files, responses):
+                    print(response["ir"], end="")
+                    print(
+                        f"# {path}: engine {response['engine']}, "
+                        f"{'cache hit' if response['cached'] else response['kind']}, "
+                        f"digest {str(response['digest'])[:12]}",
+                        file=sys.stderr,
+                    )
+            elif verb == "stats":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            elif verb == "flush":
+                print(f"flushed {client.flush()} cache entries")
+            elif verb == "ping":
+                print(json.dumps(client.ping(), indent=2, sort_keys=True))
+            elif verb == "shutdown":
+                client.shutdown()
+                print("daemon stopping")
+    except (ServiceError, OSError) as error:
+        raise SystemExit(f"repro request: {error}") from None
+    return 0
+
+
+def command_bench_serve(args: argparse.Namespace) -> int:
+    try:
+        rows = run_service_throughput(
+            blocks=args.blocks,
+            functions=args.functions,
+            repeat=args.repeat,
+            shards=args.shards,
+            engine=args.engine,
+            scale=args.scale,
+            mode=args.mode,
+            parallel_coalescing=args.parallel_coalescing,
+            seed=args.seed,
+        )
+    except KeyError as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"repro bench-serve: {message}") from None
+    table = format_service_throughput(rows)
+    print(table)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(table + "\n")
+        print(f"# written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _list_catalogue() -> dict:
+    """The machine-readable ``repro list --json`` document."""
+    return {
+        "engines": [
+            {
+                "name": config.name,
+                "label": config.label,
+                "coalescing": config.coalescing,
+                "liveness": config.liveness,
+                "interference": config.interference,
+                "linear_class_check": config.linear_class_check,
+                "on_branch_def": config.on_branch_def,
+                "fingerprint": config.fingerprint(),
+                "describe": config.describe(),
+            }
+            for config in ENGINE_CONFIGURATIONS
+        ],
+        "coalescing_strategies": [
+            {"name": variant.name, "label": variant.label} for variant in VARIANTS
+        ],
+        "liveness_backends": dict(LIVENESS_BACKENDS),
+        "interference_backends": dict(INTERFERENCE_BACKENDS),
+        "benchmarks": [
+            {"name": spec.name, "functions": spec.functions, "size": spec.size}
+            for spec in SUITE
+        ],
+    }
+
+
+def command_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps(_list_catalogue(), indent=2, sort_keys=True))
+        return 0
     print("engine configurations (Figures 6/7):")
     for config in ENGINE_CONFIGURATIONS:
         print(f"  {config.name:40s} {config.describe()}")
@@ -277,7 +421,72 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the table to this file")
     stress.set_defaults(handler=command_stress)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the translation daemon (newline-delimited JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one; the bound port is printed)")
+    serve.add_argument("--engine", default="us_i",
+                       help="default engine configuration (see 'repro list')")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="digest-affine translation shards")
+    serve.add_argument("--mode", default="thread", choices=("serial", "thread", "process"),
+                       help="how batch requests fan out across shards")
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="cache entries per shard (0 disables caching)")
+    serve.add_argument("--parallel-coalescing", type=int, default=0,
+                       help="worker threads for the in-shard class-row merge prefilter "
+                            "(0/1 = serial coalescing)")
+    serve.set_defaults(handler=command_serve)
+
+    request = sub.add_parser("request", help="drive a running translation daemon")
+    request.add_argument("verb",
+                         choices=("translate", "translate_batch", "stats", "flush",
+                                  "ping", "shutdown"),
+                         help="protocol verb to issue")
+    request.add_argument("files", nargs="*",
+                         help="textual IR files (translate/translate_batch)")
+    request.add_argument("--host", default="127.0.0.1")
+    request.add_argument("--port", type=int, required=True,
+                         help="port the daemon printed at startup")
+    request.add_argument("--engine", default=None,
+                         help="engine configuration override for this request")
+    request.add_argument("--timeout", type=float, default=60.0,
+                         help="socket timeout in seconds")
+    request.set_defaults(handler=command_request)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="service throughput experiment: cold vs warm vs sharded req/s",
+    )
+    bench_serve.add_argument("--blocks", type=int, default=5000,
+                             help="stress-CFG size per request function")
+    bench_serve.add_argument("--functions", type=int, default=3,
+                             help="distinct hot functions in the stream")
+    bench_serve.add_argument("--repeat", type=int, default=6,
+                             help="times the stream revisits each function")
+    bench_serve.add_argument("--shards", type=int, default=4,
+                             help="shards for the sharded mode row")
+    bench_serve.add_argument("--engine", default="us_i",
+                             help="engine configuration (see 'repro list')")
+    bench_serve.add_argument("--scale", type=float, default=1.0,
+                             help="multiply the corpus size (quick runs: 0.1)")
+    bench_serve.add_argument("--mode", default="thread",
+                             choices=("serial", "thread", "process"),
+                             help="scheduler mode for the sharded row")
+    bench_serve.add_argument("--parallel-coalescing", type=int, default=0,
+                             help="in-shard parallel coalescing workers")
+    bench_serve.add_argument("--seed", type=int, default=0, help="corpus base seed")
+    bench_serve.add_argument("--output", default=None,
+                             help="also write the table to this file")
+    bench_serve.set_defaults(handler=command_bench_serve)
+
     listing = sub.add_parser("list", help="list engines, strategies, liveness backends, benchmarks")
+    listing.add_argument("--json", action="store_true",
+                         help="emit the catalogue as JSON (includes per-engine "
+                              "liveness/interference backends and cache fingerprints)")
     listing.set_defaults(handler=command_list)
     return parser
 

@@ -28,6 +28,7 @@ from repro.ir.function import Function
 from repro.ir.builder import FunctionBuilder
 from repro.ir.printer import format_function, format_instruction
 from repro.ir.parser import parse_function
+from repro.ir.digest import function_digest, structurally_equal, text_digest
 from repro.ir.validate import ValidationError, validate_function, validate_ssa
 
 __all__ = [
@@ -51,7 +52,10 @@ __all__ = [
     "FunctionBuilder",
     "format_function",
     "format_instruction",
+    "function_digest",
     "parse_function",
+    "structurally_equal",
+    "text_digest",
     "ValidationError",
     "validate_function",
     "validate_ssa",

@@ -1,0 +1,75 @@
+"""Content addressing for IR: text digests and structural equality.
+
+The translation service ships IR as text and keys its warm cache by
+*content*: a request is a cache hit iff the same program text was translated
+before under the same :meth:`~repro.outofssa.config.EngineConfig.fingerprint`.
+Two helpers define what "the same program text" means:
+
+* :func:`text_digest` — a stable hex digest of one textual IR document,
+  computed over a lightly normalised form (trailing whitespace, blank lines
+  and ``#`` comments dropped), so cosmetic reformatting by a client does not
+  fork the cache;
+* :func:`function_digest` — the digest of a :class:`~repro.ir.function.Function`
+  value, via the canonical printer, so in-process callers and text-protocol
+  clients address the same cache entries.
+
+:func:`structurally_equal` is the round-trip contract of the printer/parser
+pair: every printed function must re-parse to a structurally equal function
+(``tests/property/test_ir_roundtrip_props.py`` enforces it over random
+programs).  Structural equality is defined *through* the canonical printer —
+same blocks in order, same instructions, same params and pins — which is
+exactly the identity the content-addressed cache relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.function import Function
+from repro.ir.printer import format_function
+
+#: Version tag mixed into every digest; bump on printer grammar changes so a
+#: persisted cache from an older build can never alias a current entry.
+_DIGEST_VERSION = "ir1"
+
+
+def normalize_ir_text(text: str) -> str:
+    """The canonical form digests are computed over.
+
+    Drops ``#`` comments, trailing whitespace and blank lines — everything
+    the parser ignores — but deliberately does *not* re-parse: a digest must
+    stay cheap enough to compute on the cache-hit fast path.  Two texts that
+    differ beyond this normalisation hash differently even when they denote
+    the same function; that costs one redundant cold translation, never a
+    wrong answer.
+    """
+    lines = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].rstrip()
+        if stripped:
+            lines.append(stripped)
+    return "\n".join(lines)
+
+
+def text_digest(text: str) -> str:
+    """Stable hex digest of one textual IR document."""
+    payload = _DIGEST_VERSION + "\n" + normalize_ir_text(text)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def function_digest(function: Function) -> str:
+    """The :func:`text_digest` of a function's canonical printed form."""
+    return text_digest(format_function(function))
+
+
+def structurally_equal(a: Function, b: Function) -> bool:
+    """Do two functions have identical structure (blocks, instructions,
+    params, pins), independent of object identity and fresh-name counters?
+
+    Defined through the canonical printer: the printer emits every piece of
+    structural state (header with params, ``pin`` lines, blocks in program
+    order, instructions with placement annotations), so print-equality *is*
+    structural equality — and keeps this definition automatically in sync
+    with the grammar.
+    """
+    return format_function(a) == format_function(b)

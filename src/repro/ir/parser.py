@@ -59,7 +59,10 @@ _FUNC_NAME = r"[A-Za-z_0-9.']+"
 _HEADER_RE = re.compile(rf"^function\s+({_FUNC_NAME})\s*\(([^)]*)\)\s*{{$")
 _LABEL_RE = re.compile(rf"^({_IDENT}):$")
 _PIN_RE = re.compile(rf"^pin\s+({_IDENT})\s+(\S+)$")
-_CALL_RE = re.compile(rf"^(?:({_IDENT})\s*=\s*)?call\s+({_IDENT})\s*\(([^)]*)\)$")
+# Callees share the *function-name* grammar (which admits leading digits, as
+# in the suite's "164.gzip"-style names), not the variable grammar — a
+# printed call must re-parse whatever the printed header accepted.
+_CALL_RE = re.compile(rf"^(?:({_IDENT})\s*=\s*)?call\s+({_FUNC_NAME})\s*\(([^)]*)\)$")
 _PHI_RE = re.compile(rf"^({_IDENT})\s*=\s*phi\s*\[(.*)\]$")
 _ASSIGN_RE = re.compile(rf"^({_IDENT})\s*=\s*({_IDENT})\s*(.*)$")
 
@@ -137,6 +140,43 @@ def parse_function(text: str) -> Function:
 
 
 def _parse_instruction(line: str, function: Function, block: BasicBlock) -> None:
+    # Assignment forms are matched *before* the keyword forms: a destination
+    # variable is allowed to shadow a keyword ("print = add a, b" assigns to
+    # a variable named "print"), and every assignment line carries an "=" no
+    # keyword form ever does, so the order is unambiguous.  Within the
+    # assignment forms, calls and φs must precede the generic opcode match
+    # ("x = call f()" / "x = phi [...]" would otherwise parse as plain ops).
+    call_match = _CALL_RE.match(line)
+    if call_match:
+        dst_name, callee, args_text = call_match.groups()
+        dst = function.register_variable(Variable(dst_name)) if dst_name else None
+        block.append(Call(dst, callee, _parse_values(args_text, function)))
+        return
+
+    phi_match = _PHI_RE.match(line)
+    if phi_match:
+        dst_name, args_text = phi_match.groups()
+        phi = Phi(function.register_variable(Variable(dst_name)))
+        args_text = args_text.strip()
+        if args_text:
+            for part in args_text.split(","):
+                if ":" not in part:
+                    raise ValueError(f"bad phi argument {part!r}")
+                label, value = part.split(":", 1)
+                phi.set_arg(label.strip(), _parse_value(value, function))
+        block.add_phi(phi)
+        return
+
+    assign_match = _ASSIGN_RE.match(line)
+    if assign_match:
+        dst_name, opcode, rest = assign_match.groups()
+        dst = function.register_variable(Variable(dst_name))
+        if opcode == "copy":
+            block.append(Copy(dst, _parse_value(rest, function)))
+        else:
+            block.append(Op(dst, opcode, _parse_values(rest, function)))
+        return
+
     # Parallel copies (with optional placement annotation).
     if line.startswith("pcopy"):
         placement = "body"
@@ -193,37 +233,6 @@ def _parse_instruction(line: str, function: Function, block: BasicBlock) -> None
         return
     if line.startswith("ret "):
         block.set_terminator(Return(_parse_value(line[len("ret "):], function)))
-        return
-
-    call_match = _CALL_RE.match(line)
-    if call_match:
-        dst_name, callee, args_text = call_match.groups()
-        dst = function.register_variable(Variable(dst_name)) if dst_name else None
-        block.append(Call(dst, callee, _parse_values(args_text, function)))
-        return
-
-    phi_match = _PHI_RE.match(line)
-    if phi_match:
-        dst_name, args_text = phi_match.groups()
-        phi = Phi(function.register_variable(Variable(dst_name)))
-        args_text = args_text.strip()
-        if args_text:
-            for part in args_text.split(","):
-                if ":" not in part:
-                    raise ValueError(f"bad phi argument {part!r}")
-                label, value = part.split(":", 1)
-                phi.set_arg(label.strip(), _parse_value(value, function))
-        block.add_phi(phi)
-        return
-
-    assign_match = _ASSIGN_RE.match(line)
-    if assign_match:
-        dst_name, opcode, rest = assign_match.groups()
-        dst = function.register_variable(Variable(dst_name))
-        if opcode == "copy":
-            block.append(Copy(dst, _parse_value(rest, function)))
-        else:
-            block.append(Op(dst, opcode, _parse_values(rest, function)))
         return
 
     raise ValueError("unrecognised instruction")

@@ -39,6 +39,8 @@ def format_instruction(instruction: Instruction) -> str:
     if isinstance(instruction, Copy):
         return f"{instruction.dst} = copy {format_operand(instruction.src)}"
     if isinstance(instruction, ParallelCopy):
+        if not instruction.pairs:
+            return "pcopy"
         pairs = ", ".join(f"{dst} <- {format_operand(src)}" for dst, src in instruction.pairs)
         return f"pcopy {pairs}"
     if isinstance(instruction, Op):
@@ -84,7 +86,10 @@ def format_function(function: Function) -> str:
     """Render a whole function; the output parses back with ``parse_function``."""
     params = ", ".join(str(param) for param in function.params)
     lines = [f"function {function.name}({params}) {{"]
-    for var, register in function.pinned.items():
+    # Pins print sorted by variable name so the canonical text (and therefore
+    # the content digest) does not depend on pin *insertion* order; the parser
+    # rebuilds the mapping, for which order is immaterial.
+    for var, register in sorted(function.pinned.items(), key=lambda item: str(item[0])):
         lines.append(f"  pin {var} {register}")
     for block in function:
         lines.append(format_block(block))

@@ -11,6 +11,7 @@ mutation via :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Union
 
@@ -33,6 +34,10 @@ INTERFERENCE_BACKENDS: Dict[str, str] = {
 
 #: Policies for a φ-argument defined by the predecessor's terminator.
 ON_BRANCH_DEF_POLICIES = ("split", "error")
+
+#: Version tag mixed into :meth:`EngineConfig.fingerprint`; bump when a knob
+#: is added or its semantics change so old fingerprints can never alias.
+_FINGERPRINT_VERSION = "ec1"
 
 
 # --------------------------------------------------------------------------- config
@@ -94,6 +99,29 @@ class EngineConfig:
         parts.append(interference_labels.get(self.interference, self.interference))
         parts.append("linear class check" if self.linear_class_check else "quadratic class check")
         return ", ".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable hex fingerprint of the configuration's *semantic* knobs.
+
+        Two configurations with the same fingerprint translate every function
+        bit-identically, so the fingerprint (together with the IR digest) is
+        the cache key of the translation service: ``name`` and ``label`` are
+        cosmetic and excluded — ``EngineConfig.builder("us_i").name("x")``
+        still hits a cache warmed under ``us_i``.  The leading version tag is
+        bumped whenever a knob is added or its meaning changes, so stale
+        fingerprints from older builds can never alias a current one.
+        """
+        payload = "|".join(
+            (
+                _FINGERPRINT_VERSION,
+                self.coalescing,
+                self.liveness,
+                self.interference,
+                "linear" if self.linear_class_check else "quadratic",
+                self.on_branch_def,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     @staticmethod
     def builder(base: Union["EngineConfig", str, None] = None) -> "EngineConfigBuilder":

@@ -37,6 +37,12 @@ class OutOfSSAStats:
     elapsed_seconds: float = 0.0
     #: Interference backend the run used ("matrix" / "query" / "incremental").
     interference_backend: str = ""
+    #: Worker threads the parallel coalescing prefilter ran on (0 = the
+    #: ordinary serial sweep; service shards opt in).
+    coalesce_workers: int = 0
+    #: Merge candidates the parallel prefilter rejected from the initial
+    #: class-row masks (each saved the serial sweep one class-vs-class check).
+    prefiltered_merges: int = 0
     #: Measured bytes of the interference bit-matrix (0 for the query backend).
     matrix_bytes: int = 0
     # Inputs to the Figure 7 "evaluated" memory formulas.

@@ -1,0 +1,55 @@
+"""The translation service layer: out-of-SSA as a long-running daemon.
+
+The paper's pitch is that out-of-SSA translation is fast enough to run
+constantly inside a JIT.  This package turns the batch pipeline into exactly
+that serving workload — heavy sustained traffic of translation requests over
+hot functions:
+
+* :mod:`repro.service.cache` — :class:`TranslationCache`, a content-addressed
+  warm cache keyed by IR digest × engine fingerprint, holding completed
+  translations *and* the per-function warm state (the translated
+  :class:`~repro.ir.function.Function` plus its patched
+  :class:`~repro.pipeline.analysis.AnalysisCache`);
+* :mod:`repro.service.translator` — :class:`TranslationService`, one worker:
+  a warm :class:`~repro.pipeline.session.Session` per engine fingerprint in
+  front of one cache;
+* :mod:`repro.service.scheduler` — :class:`ShardedScheduler`, the sharded
+  work queue partitioning request batches across N digest-affine shards
+  (threads for warm traffic, processes for cold batches), plus the in-shard
+  parallel coalescing mode over the congruence-class matrix rows;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib-only
+  newline-delimited-JSON socket daemon (``repro serve``) and its client.
+
+See ``docs/SERVICE.md`` for the protocol, the cache keying and the
+warm-vs-cold lifecycle.
+"""
+
+from repro.service.cache import CachedTranslation, CacheStats, TranslationCache, WarmState
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    ParallelCoalescingPass,
+    ShardedScheduler,
+    ShardStats,
+    parallel_coalesce,
+    shard_of,
+)
+from repro.service.server import TranslationServer
+from repro.service.translator import ServiceResult, TranslationService, service_pipeline
+
+__all__ = [
+    "CacheStats",
+    "CachedTranslation",
+    "ParallelCoalescingPass",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResult",
+    "ShardStats",
+    "ShardedScheduler",
+    "TranslationCache",
+    "TranslationServer",
+    "TranslationService",
+    "WarmState",
+    "parallel_coalesce",
+    "service_pipeline",
+    "shard_of",
+]

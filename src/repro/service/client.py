@@ -1,0 +1,122 @@
+"""Client for the ``repro serve`` daemon (stdlib only).
+
+One :class:`ServiceClient` owns one TCP connection and speaks the
+newline-delimited JSON protocol of :mod:`repro.service.server`: requests out,
+responses back, strictly in order.  Protocol-level failures (``ok: false``)
+raise :class:`ServiceError` from the convenience verbs; :meth:`request` is
+the raw escape hatch that returns whatever the server said.
+
+    with ServiceClient(port=port) as client:
+        client.ping()
+        translated = client.translate(ir_text)["ir"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false`` (or the connection broke)."""
+
+
+class ServiceClient:
+    """One connection to a translation daemon."""
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection --------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- raw protocol ------------------------------------------------------------
+    def request(self, verb: str, **fields) -> Dict[str, object]:
+        """Send one request, return the raw response object."""
+        self.connect()
+        payload = {"verb": verb}
+        payload.update({key: value for key, value in fields.items() if value is not None})
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(f"connection to {self.host}:{self.port} closed mid-request")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ServiceError(f"malformed response: {error}") from error
+        if not isinstance(response, dict):
+            raise ServiceError(f"malformed response: expected object, got {response!r}")
+        return response
+
+    def _checked(self, verb: str, **fields) -> Dict[str, object]:
+        response = self.request(verb, **fields)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown service error")))
+        return response
+
+    # -- verbs -------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self._checked("ping")
+
+    def translate(self, ir: str, engine: Optional[str] = None) -> Dict[str, object]:
+        """Translate one textual IR document; the response carries ``ir``."""
+        return self._checked("translate", ir=ir, engine=engine)
+
+    def translate_batch(
+        self, irs: List[str], engine: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Translate a batch; per-request payloads in input order."""
+        response = self._checked("translate_batch", irs=list(irs), engine=engine)
+        return list(response["results"])
+
+    def stats(self) -> Dict[str, object]:
+        return self._checked("stats")
+
+    def flush(self) -> int:
+        """Flush the daemon's caches; returns how many entries were dropped."""
+        return int(self._checked("flush")["flushed"])
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to stop (acknowledged before it goes down)."""
+        return self._checked("shutdown")
+
+    def __repr__(self) -> str:
+        state = "connected" if self._sock is not None else "disconnected"
+        return f"ServiceClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,179 @@
+"""The ``repro serve`` daemon: translations over newline-delimited JSON.
+
+Stdlib only (``socketserver`` + ``json``).  One TCP connection carries any
+number of requests; each request is one JSON object on one line, each
+response one JSON object on one line, in order:
+
+    {"verb": "translate", "ir": "function f(...) { ... }", "engine": "us_i"}
+    {"ok": true, "ir": "...", "cached": false, "digest": "...", ...}
+
+Verbs
+-----
+``translate``
+    ``ir`` (required): textual IR; ``engine`` (optional): engine name.
+``translate_batch``
+    ``irs`` (required): list of textual IR documents; the batch goes through
+    the sharded scheduler (``results`` come back in input order).
+``stats``
+    Scheduler + per-shard + cache counters, uptime, engine fingerprint.
+``flush``
+    Drop every cache entry and warm state; returns how many were dropped.
+``ping``
+    Liveness probe; reports the service banner, engine and shard count.
+``shutdown``
+    Acknowledge, then stop the server (used by tests and the CI lane).
+
+Every error is a normal response with ``ok: false`` and an ``error`` string —
+a malformed line never kills the connection, let alone the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.ir.parser import ParseError
+from repro.outofssa.config import DEFAULT_ENGINE
+from repro.pipeline.pipeline import EngineLike
+from repro.service.scheduler import ShardedScheduler
+
+#: Service banner returned by ``ping`` (protocol major version included).
+BANNER = "repro-serve/1"
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: a stream of JSON lines, answered in order."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via live sockets
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("request must be a JSON object")
+            except (UnicodeDecodeError, ValueError) as error:
+                self._respond({"ok": False, "error": f"malformed request: {error}"})
+                continue
+            response, stop = self.server.dispatch(payload)
+            self._respond(response)
+            if stop:
+                # Acknowledge first, then stop the server from a helper
+                # thread (shutdown() deadlocks when called from a handler).
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+
+    def _respond(self, response: Dict[str, object]) -> None:
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+
+class TranslationServer(socketserver.ThreadingTCPServer):
+    """The daemon: a sharded scheduler behind a line-oriented TCP front."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        engine: EngineLike = DEFAULT_ENGINE,
+        shards: int = 2,
+        mode: str = "thread",
+        capacity: int = 256,
+        parallel_coalescing: int = 0,
+    ) -> None:
+        super().__init__(address, _RequestHandler)
+        self.scheduler = ShardedScheduler(
+            engine,
+            shards=shards,
+            mode=mode,
+            capacity=capacity,
+            parallel_coalescing=parallel_coalescing,
+        )
+        self.started = time.time()
+        # dispatch() runs on one handler thread per connection.
+        self._served_lock = threading.Lock()
+        self.requests_served = 0
+
+    # -- addressing --------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    # -- dispatch ----------------------------------------------------------------
+    def dispatch(self, payload: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
+        """Answer one request; returns ``(response, stop server?)``."""
+        with self._served_lock:
+            self.requests_served += 1
+        verb = payload.get("verb")
+        try:
+            if verb == "translate":
+                ir = payload.get("ir")
+                if not isinstance(ir, str):
+                    raise ValueError("'translate' needs an 'ir' string field")
+                result = self.scheduler.translate(ir, engine=self._engine_of(payload))
+                return {"ok": True, **result.to_payload()}, False
+            if verb == "translate_batch":
+                irs = payload.get("irs")
+                if not isinstance(irs, list) or not all(isinstance(t, str) for t in irs):
+                    raise ValueError("'translate_batch' needs an 'irs' list of strings")
+                results = self.scheduler.translate_batch(
+                    irs, engine=self._engine_of(payload)
+                )
+                return {
+                    "ok": True,
+                    "results": [result.to_payload() for result in results],
+                }, False
+            if verb == "stats":
+                return {
+                    "ok": True,
+                    "uptime_seconds": time.time() - self.started,
+                    "requests_served": self.requests_served,
+                    "stats": self.scheduler.stats_payload(),
+                }, False
+            if verb == "flush":
+                return {"ok": True, "flushed": self.scheduler.flush()}, False
+            if verb == "ping":
+                return {
+                    "ok": True,
+                    "service": BANNER,
+                    "engine": self.scheduler.engine.name,
+                    "fingerprint": self.scheduler.engine.fingerprint(),
+                    "shards": self.scheduler.shards,
+                    "mode": self.scheduler.mode,
+                }, False
+            if verb == "shutdown":
+                return {"ok": True, "stopping": True}, True
+            return {"ok": False, "error": f"unknown verb {verb!r}"}, False
+        except (ParseError, KeyError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else str(error)
+            return {"ok": False, "error": str(message)}, False
+
+    @staticmethod
+    def _engine_of(payload: Dict[str, object]) -> Optional[str]:
+        engine = payload.get("engine")
+        if engine is None:
+            return None
+        if not isinstance(engine, str):
+            raise ValueError("'engine' must be an engine name string")
+        return engine
+
+    # -- lifecycle ----------------------------------------------------------------
+    def serve_in_background(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def __repr__(self) -> str:
+        return f"TranslationServer({self.host}:{self.port}, {self.scheduler!r})"

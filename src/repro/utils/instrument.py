@@ -12,6 +12,7 @@ Figure 7.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Dict, Iterator, Optional
 
 
@@ -68,34 +69,40 @@ class AllocationTracker:
         return f"AllocationTracker(total={self.total()}, peak={self.peak()})"
 
 
-_CURRENT: Optional[AllocationTracker] = None
+# The installed tracker is *per thread*: a translation runs entirely on one
+# thread, and the service layer (sharded scheduler, daemon handler threads)
+# translates concurrently — a process-wide slot would let one thread's
+# tracker absorb another thread's allocations (or leak into code that runs
+# with no tracker installed at all).
+_CURRENT = threading.local()
 
 
 def current_tracker() -> Optional[AllocationTracker]:
-    """The tracker installed by :func:`track_allocations`, if any."""
-    return _CURRENT
+    """The tracker installed by :func:`track_allocations` on this thread."""
+    return getattr(_CURRENT, "tracker", None)
 
 
 def record_allocation(category: str, nbytes: int) -> None:
-    """Report an allocation to the currently-installed tracker (if any)."""
-    if _CURRENT is not None:
-        _CURRENT.allocate(category, nbytes)
+    """Report an allocation to this thread's installed tracker (if any)."""
+    tracker = getattr(_CURRENT, "tracker", None)
+    if tracker is not None:
+        tracker.allocate(category, nbytes)
 
 
 def record_free(category: str, nbytes: int) -> None:
-    """Report a release to the currently-installed tracker (if any)."""
-    if _CURRENT is not None:
-        _CURRENT.free(category, nbytes)
+    """Report a release to this thread's installed tracker (if any)."""
+    tracker = getattr(_CURRENT, "tracker", None)
+    if tracker is not None:
+        tracker.free(category, nbytes)
 
 
 @contextlib.contextmanager
 def track_allocations(tracker: Optional[AllocationTracker] = None) -> Iterator[AllocationTracker]:
-    """Install ``tracker`` (or a fresh one) as the global allocation sink."""
-    global _CURRENT
+    """Install ``tracker`` (or a fresh one) as this thread's allocation sink."""
     tracker = tracker if tracker is not None else AllocationTracker()
-    previous = _CURRENT
-    _CURRENT = tracker
+    previous = getattr(_CURRENT, "tracker", None)
+    _CURRENT.tracker = tracker
     try:
         yield tracker
     finally:
-        _CURRENT = previous
+        _CURRENT.tracker = previous

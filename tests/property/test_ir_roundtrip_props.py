@@ -1,0 +1,168 @@
+"""Property tests: every printed function re-parses structurally equal.
+
+The service protocol ships IR as *text*, so the printer/parser pair is the
+wire format: any program the system can hold must survive
+``parse(format(f))`` with identical structure, and the canonical text must be
+a fixpoint (``format(parse(format(f))) == format(f)``) — that fixpoint is
+what the content-addressed cache digests.
+
+Checked over every program family the repository generates (SSA generator
+programs at all shapes, stress-corpus CFGs, gallery figures, translated
+outputs with parallel copies and sequentialized swaps), plus targeted
+regressions for the grammar corners the hardening fixed: destination
+variables shadowing instruction keywords, callees using the function-name
+grammar (leading digits), empty parallel copies, and pin-order canonicality.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.corpus import CorpusSpec, generate_stress_cfg
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.gallery import (
+    figure1_branch_use,
+    figure2_branch_with_decrement,
+    figure3_swap_problem,
+    figure4_lost_copy_problem,
+)
+from repro.ir import (
+    Call,
+    Constant,
+    Copy,
+    Function,
+    Op,
+    ParallelCopy,
+    Print,
+    Return,
+    Variable,
+    format_function,
+    function_digest,
+    parse_function,
+    structurally_equal,
+    text_digest,
+)
+from repro.outofssa.driver import destruct_ssa
+
+
+def assert_roundtrip(function: Function) -> None:
+    text = format_function(function)
+    reparsed = parse_function(text)
+    assert structurally_equal(reparsed, function), (
+        f"round-trip changed structure:\n{text}\nvs\n{format_function(reparsed)}"
+    )
+    # The canonical text is a fixpoint — the digest contract of the cache.
+    assert format_function(reparsed) == text
+    assert function_digest(reparsed) == function_digest(function)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size=st.integers(min_value=8, max_value=45),
+    abi=st.booleans(),
+    translated=st.booleans(),
+)
+def test_generator_programs_roundtrip(seed, size, abi, translated):
+    function = generate_ssa_program(
+        GeneratorConfig(seed=seed, size=size, apply_abi=abi)
+    )
+    if translated:
+        destruct_ssa(function)
+    assert_roundtrip(function)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    blocks=st.integers(min_value=8, max_value=120),
+    irreducible=st.sampled_from([0.0, 0.5]),
+)
+def test_stress_corpus_roundtrips(seed, blocks, irreducible):
+    function = generate_stress_cfg(
+        CorpusSpec(seed=seed, blocks=blocks, loop_depth=3, variables=6,
+                   irreducible=irreducible)
+    )
+    assert_roundtrip(function)
+
+
+@pytest.mark.parametrize(
+    "build",
+    [figure1_branch_use, figure2_branch_with_decrement,
+     figure3_swap_problem, figure4_lost_copy_problem],
+)
+def test_gallery_figures_roundtrip(build):
+    assert_roundtrip(build())
+
+
+# --------------------------------------------------------------------------- grammar corners
+def test_keyword_named_destinations_roundtrip():
+    """Variables shadowing instruction keywords parse as assignments."""
+    function = Function("keywords")
+    block = function.add_block("entry")
+    for name in ("print", "jump", "ret", "br", "brdec", "pcopy", "pin", "call"):
+        block.append(Op(function.register_variable(Variable(name)), "const", [Constant(1)]))
+    block.append(Copy(Variable("x"), Variable("print")))
+    block.append(Print(Variable("jump")))
+    block.set_terminator(Return(Variable("ret")))
+    assert_roundtrip(function)
+
+
+def test_callee_uses_function_name_grammar():
+    """Callees admit what headers admit — including leading digits."""
+    function = Function("164.gzip'helper")
+    block = function.add_block("entry")
+    dst = function.register_variable(Variable("r"))
+    block.append(Call(dst, "164.gzip'helper", [Constant(3)]))
+    block.append(Call(None, "2nd.callee", [dst]))
+    block.set_terminator(Return(dst))
+    assert_roundtrip(function)
+
+
+def test_empty_parallel_copy_roundtrips():
+    function = Function("empties")
+    block = function.add_block("entry")
+    block.body.append(ParallelCopy())
+    block.set_terminator(Return(None))
+    assert_roundtrip(function)
+
+
+def test_entry_exit_pcopy_placement_roundtrips():
+    function = Function("placed")
+    block = function.add_block("entry")
+    entry_pcopy = ParallelCopy()
+    entry_pcopy.add(function.register_variable(Variable("a")), Constant(1))
+    exit_pcopy = ParallelCopy()
+    exit_pcopy.add(function.register_variable(Variable("b")), Variable("a"))
+    block.entry_pcopy = entry_pcopy
+    block.exit_pcopy = exit_pcopy
+    block.set_terminator(Return(Variable("b")))
+    assert_roundtrip(function)
+
+
+def test_pin_order_is_canonical():
+    """The printed text (and so the digest) is independent of pin order."""
+    def build(order):
+        function = Function("pinned")
+        block = function.add_block("entry")
+        block.set_terminator(Return(None))
+        for name, register in order:
+            function.pin(function.register_variable(Variable(name)), register)
+        return function
+
+    forward = build([("a", "R0"), ("b", "R1")])
+    backward = build([("b", "R1"), ("a", "R0")])
+    assert format_function(forward) == format_function(backward)
+    assert function_digest(forward) == function_digest(backward)
+    assert_roundtrip(forward)
+
+
+def test_digest_ignores_comments_and_trailing_whitespace():
+    text = format_function(figure4_lost_copy_problem())
+    noisy = "\n".join(
+        line + "   # a client comment" if line.strip() else line
+        for line in text.splitlines()
+    ) + "\n\n\n"
+    assert text_digest(noisy) == text_digest(text)
+    # ...but any structural difference forks the digest.
+    assert text_digest(text.replace("lost_copy", "other_name")) != text_digest(text)

@@ -148,6 +148,80 @@ class TestStress:
             main(["stress", "--blocks", "abc"])
 
 
+class TestListJson:
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        engines = {engine["name"]: engine for engine in catalogue["engines"]}
+        assert "us_i_linear_intercheck_livecheck" in engines
+        us_i = engines["us_i"]
+        # The negotiation fields clients key caches on.
+        assert us_i["liveness"] == "bitsets"
+        assert us_i["interference"] == "matrix"
+        assert len(us_i["fingerprint"]) == 16
+        fingerprints = {engine["fingerprint"] for engine in engines.values()}
+        assert len(fingerprints) == len(engines)
+        assert set(catalogue["interference_backends"]) == {"matrix", "query", "incremental"}
+        assert set(catalogue["liveness_backends"]) == {"sets", "bitsets", "check", "incremental"}
+
+
+class TestServiceCommands:
+    def test_bench_serve_prints_and_writes_the_table(self, tmp_path, capsys):
+        path = tmp_path / "serve.txt"
+        assert main([
+            "bench-serve", "--blocks", "150", "--functions", "2", "--repeat", "3",
+            "--shards", "2", "--scale", "1.0", "--output", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "warm" in out and "sharded[2;thread]" in out
+        assert "hit rate" in path.read_text()
+
+    def test_bench_serve_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["bench-serve", "--engine", "bogus", "--blocks", "80"])
+
+    def test_serve_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["serve", "--engine", "bogus"])
+
+    def test_request_drives_a_live_daemon(self, lost_copy_file, capsys):
+        from repro.service.server import TranslationServer
+
+        server = TranslationServer(engine="us_i", shards=1)
+        server.serve_in_background()
+        try:
+            port = str(server.port)
+            assert main(["request", "ping", "--port", port]) == 0
+            assert "repro-serve" in capsys.readouterr().out
+
+            assert main(["request", "translate", lost_copy_file, "--port", port]) == 0
+            captured = capsys.readouterr()
+            assert "phi" not in captured.out
+            assert "cold" in captured.err
+
+            assert main(["request", "translate", lost_copy_file, "--port", port]) == 0
+            assert "cache hit" in capsys.readouterr().err
+
+            assert main(["request", "stats", "--port", port]) == 0
+            assert '"requests"' in capsys.readouterr().out
+
+            assert main(["request", "flush", "--port", port]) == 0
+            assert "flushed" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_request_translate_needs_a_file(self):
+        with pytest.raises(SystemExit, match="needs at least one IR file"):
+            main(["request", "translate", "--port", "1"])
+
+    def test_request_reports_connection_failure_cleanly(self):
+        with pytest.raises(SystemExit, match="repro request"):
+            main(["request", "ping", "--port", "1", "--timeout", "0.2"])
+
+
 class TestInterferenceFlag:
     def test_translate_with_each_interference_backend(self, lost_copy_file, capsys):
         outputs = []
