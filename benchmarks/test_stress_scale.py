@@ -15,7 +15,10 @@ uploads the tables as artifacts):
 * ``REPRO_STRESS_SCALE`` — multiplies every corpus size (default 1.0);
 * ``REPRO_STRESS_SPEEDUP_MIN`` — the asserted floor on the incremental
   speedups at the 5k-block point (default 5.0, the subsystems' acceptance
-  bar; measured locally liveness is >10x and the matrix >20x).
+  bar; measured locally liveness is >10x and the matrix >20x);
+* ``REPRO_VERIFY_OVERHEAD_MAX`` — the asserted ceiling on the wall-clock
+  ratio of a ``verify_level=fast`` translation over an unchecked one at the
+  5k-block point (default 1.15, the verifier's acceptance bar).
 """
 
 import os
@@ -86,3 +89,23 @@ def test_interference_incremental_matrix_speedup(results_dir):
     by_seed = {row.spec.seed: row for row in rows}
     anchor = by_seed[5000]  # the spec seeded off the 5000-block rung
     assert anchor.speedup >= minimum, format_interference_stress([anchor])
+
+
+def test_verify_fast_overhead(results_dir):
+    """The acceptance bar on the always-on checks: ``verify_level=fast``
+    costs <= 15% wall-clock over an unchecked translation at the 5k-block
+    point (best-of-3, fresh function per run), and the clean corpus stays
+    diagnostic-free at that scale."""
+    from repro.bench.harness import run_verify_stress
+    from repro.bench.reporting import format_verify_stress
+
+    scale = stress_scale()
+    specs = scaled_specs([5000], scale=scale)
+    rows = run_verify_stress(specs, level="fast", repeats=3)
+    table = format_verify_stress(rows)
+    write_result(results_dir, "verify_overhead.txt", table)
+
+    anchor = rows[0]
+    assert anchor.diagnostics == 0, table
+    maximum = float(os.environ.get("REPRO_VERIFY_OVERHEAD_MAX", "1.15"))
+    assert anchor.overhead <= maximum, table

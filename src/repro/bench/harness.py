@@ -410,3 +410,81 @@ def run_service_throughput(
                 f"(digest {cold_results[index].digest[:12]})"
             )
     return rows
+
+
+# --------------------------------------------------------------------------- verify stress
+@dataclass
+class VerifyStressRow:
+    """Checked vs unchecked translation of one stress corpus spec."""
+
+    blocks: int = 0
+    variables: int = 0
+    level: str = "fast"
+    unchecked_seconds: float = 0.0
+    checked_seconds: float = 0.0
+    verify_ms: float = 0.0
+    diagnostics: int = 0
+    errors: int = 0
+    warnings: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Checked wall-clock over unchecked (1.0 means the checks are free)."""
+        if not self.unchecked_seconds:
+            return 0.0
+        return self.checked_seconds / self.unchecked_seconds
+
+
+def run_verify_stress(
+    specs,
+    level: str = "fast",
+    engine: EngineLike = "us_i_linear_intercheck_livecheck",
+    repeats: int = 1,
+) -> List["VerifyStressRow"]:
+    """Translate every corpus spec with the invariant checkers on and off.
+
+    Each repeat regenerates the spec's function twice (translation mutates the
+    function, so checked and unchecked runs each get a fresh copy) and times a
+    plain translation against one at ``verify_level=level``; the row carries
+    best-of-repeats wall-clocks, the checker time the stats recorded, and the
+    diagnostic counts — zero diagnostics on the clean corpus is the lane's
+    pass condition.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.bench.corpus import generate_stress_cfg
+    from repro.pipeline.pipeline import Pipeline, resolve_engine
+
+    config = resolve_engine(engine)
+    unchecked_pipeline = Pipeline.for_engine(dc_replace(config, verify_level="off"))
+    checked_pipeline = Pipeline.for_engine(dc_replace(config, verify_level=level))
+
+    rows: List[VerifyStressRow] = []
+    for spec in specs:
+        row = VerifyStressRow(level=level)
+        best_plain = best_checked = None
+        for _ in range(max(1, repeats)):
+            function = generate_stress_cfg(spec)
+            row.blocks = len(function.blocks)
+            row.variables = len(function.variables())
+
+            began = time.perf_counter()
+            unchecked_pipeline.run(generate_stress_cfg(spec))
+            plain_seconds = time.perf_counter() - began
+
+            began = time.perf_counter()
+            result = checked_pipeline.run(function)
+            checked_seconds = time.perf_counter() - began
+
+            if best_plain is None or plain_seconds < best_plain:
+                best_plain = plain_seconds
+            if best_checked is None or checked_seconds < best_checked:
+                best_checked = checked_seconds
+                row.verify_ms = result.stats.verify_ms
+                row.diagnostics = result.stats.verify_diagnostics
+                row.errors = result.stats.verify_errors
+                row.warnings = result.stats.verify_warnings
+        row.unchecked_seconds = best_plain or 0.0
+        row.checked_seconds = best_checked or 0.0
+        rows.append(row)
+    return rows

@@ -191,3 +191,32 @@ def format_interference_stress(rows) -> str:
             str(row.matrix_bytes // 1024),
         ])
     return _format_table(headers, table_rows)
+
+
+def format_verify_stress(rows) -> str:
+    """The verify stress lane: checked vs unchecked translation wall-clock.
+
+    One line per corpus size; ``overhead`` is the checked translation's
+    wall-clock over the unchecked one, ``verify (ms)`` the checker time the
+    pipeline recorded, and ``diags``/``errors``/``warnings`` the diagnostic
+    counts — all zero on a healthy pipeline.
+    """
+    headers = [
+        "blocks", "vars", "level", "unchecked (ms)", "checked (ms)",
+        "overhead", "verify (ms)", "diags", "errors", "warnings",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            str(row.blocks),
+            str(row.variables),
+            row.level,
+            f"{row.unchecked_seconds * 1e3:.2f}",
+            f"{row.checked_seconds * 1e3:.2f}",
+            f"{row.overhead:.2f}x",
+            f"{row.verify_ms:.2f}",
+            str(row.diagnostics),
+            str(row.errors),
+            str(row.warnings),
+        ])
+    return _format_table(headers, table_rows)

@@ -65,7 +65,7 @@ from repro.bench.reporting import (
 from repro.bench.suite import SUITE, build_suite
 from repro.coalescing.variants import VARIANTS
 from repro.interp import run_function
-from repro.ir import format_function, parse_function
+from repro.ir import ValidationError, format_function, parse_function, validate_function
 from repro.outofssa.config import (
     ENGINE_CONFIGURATIONS,
     INTERFERENCE_BACKENDS,
@@ -76,9 +76,23 @@ from repro.outofssa.config import (
 from repro.pipeline import Pipeline
 
 
-def _load_function(path: str):
+def _load_function(path: str, validate: bool = True):
+    """Parse a textual IR file, structurally validating by default.
+
+    Validation-before-use means malformed text fails at the ingest boundary
+    with a located diagnostic instead of deep inside a pass; ``--no-validate``
+    is the escape hatch for deliberately broken inputs.
+    """
     with open(path) as handle:
-        return parse_function(handle.read())
+        function = parse_function(handle.read())
+    if validate:
+        try:
+            validate_function(function)
+        except ValidationError as error:
+            raise SystemExit(
+                f"repro: {path}: {error} (use --no-validate to skip this check)"
+            ) from None
+    return function
 
 
 def _parse_args_list(text: str) -> List[int]:
@@ -113,6 +127,8 @@ def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
             builder.liveness(args.liveness)
         if getattr(args, "interference", None):
             builder.interference(args.interference)
+        if getattr(args, "verify", None):
+            builder.verify(args.verify)
         return builder.build()
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -122,7 +138,7 @@ def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
 # --------------------------------------------------------------------------- commands
 def command_translate(args: argparse.Namespace) -> int:
     config = _resolve_engine_config(args)
-    function = _load_function(args.file)
+    function = _load_function(args.file, validate=not args.no_validate)
 
     pipeline = Pipeline.for_engine(
         config,
@@ -133,6 +149,10 @@ def command_translate(args: argparse.Namespace) -> int:
     result = pipeline.run(function)
     print(format_function(function), end="")
 
+    report = result.verify_report
+    if report is not None and report.diagnostics:
+        print(report.render(), file=sys.stderr)
+
     if args.stats:
         counts = copy_counts(function)
         print(f"# engine               : {result.config.label}", file=sys.stderr)
@@ -142,16 +162,87 @@ def command_translate(args: argparse.Namespace) -> int:
         print(f"# copies remaining     : {counts.static_copies}", file=sys.stderr)
         print(f"# constant moves       : {counts.constant_moves}", file=sys.stderr)
         print(f"# translation time (ms): {result.stats.elapsed_seconds * 1e3:.3f}", file=sys.stderr)
+        if report is not None:
+            print(f"# verify time (ms)     : {result.stats.verify_ms:.3f}", file=sys.stderr)
+    if report is not None and report.errors:
+        return 1
     return 0
 
 
 def command_run(args: argparse.Namespace) -> int:
-    function = _load_function(args.file)
+    function = _load_function(args.file, validate=not args.no_validate)
     result = run_function(function, _parse_args_list(args.args))
     print("return:", result.return_value)
     print("trace :", " ".join(str(value) for value in result.trace))
     print("steps :", result.steps)
     return 0
+
+
+def _gallery_programs():
+    from repro.gallery import (
+        figure1_branch_use,
+        figure2_branch_with_decrement,
+        figure3_swap_problem,
+        figure4_lost_copy_problem,
+    )
+
+    return [
+        figure1_branch_use(),
+        figure2_branch_with_decrement(),
+        figure3_swap_problem(),
+        figure4_lost_copy_problem(),
+    ]
+
+
+def command_verify(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.verify.checks import check_structure
+    from repro.verify.diagnostics import VerifyReport
+
+    config = _resolve_engine_config(args)
+    targets = []
+    for path in args.files:
+        with open(path) as handle:
+            try:
+                targets.append((path, parse_function(handle.read())))
+            except ValueError as error:
+                raise SystemExit(f"repro verify: {path}: {error}") from None
+    if args.gallery:
+        targets.extend((f"gallery:{fn.name}", fn) for fn in _gallery_programs())
+    if not targets:
+        raise SystemExit("repro verify: no targets (give IR files and/or --gallery)")
+
+    reports = []
+    for name, function in targets:
+        structural = check_structure(function)
+        if any(diag.is_error for diag in structural):
+            # Translation would crash on a structurally broken function;
+            # report what the input checks found and stop there.
+            report = VerifyReport(function=function.name, level=args.level)
+            report.stages_run.append("input")
+            report.extend(structural)
+        else:
+            checked = dataclasses.replace(config, verify_level=args.level)
+            report = Pipeline.for_engine(checked).run(function).verify_report
+        reports.append((name, report))
+
+    failed = sum(1 for _name, report in reports if not report.ok)
+    if args.json:
+        payload = {
+            "level": args.level,
+            "engine": config.name,
+            "ok": failed == 0,
+            "targets": [
+                {"target": name, **report.to_payload()} for name, report in reports
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, report in reports:
+            print(f"== {name}")
+            print(report.render())
+    return 1 if failed else 0
 
 
 def command_bench(args: argparse.Namespace) -> int:
@@ -196,6 +287,15 @@ def command_stress(args: argparse.Namespace) -> int:
         tables.append(
             format_interference_stress(
                 run_interference_stress(specs, repeats=args.repeats)
+            )
+        )
+    if args.verify != "off":
+        from repro.bench.harness import run_verify_stress
+        from repro.bench.reporting import format_verify_stress
+
+        tables.append(
+            format_verify_stress(
+                run_verify_stress(specs, level=args.verify, engine=args.engine)
             )
         )
     table = "\n\n".join(tables)
@@ -244,7 +344,7 @@ def command_request(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
     verb = args.verb
-    if verb in ("translate", "translate_batch") and not args.files:
+    if verb in ("translate", "translate_batch", "verify") and not args.files:
         raise SystemExit(f"repro request: {verb} needs at least one IR file")
     try:
         with ServiceClient(port=args.port, host=args.host, timeout=args.timeout) as client:
@@ -262,6 +362,18 @@ def command_request(args: argparse.Namespace) -> int:
                         f"digest {str(response['digest'])[:12]}",
                         file=sys.stderr,
                     )
+            elif verb == "verify":
+                exit_code = 0
+                for path in args.files:
+                    with open(path) as handle:
+                        response = client.verify(
+                            handle.read(), engine=args.engine, level=args.level
+                        )
+                    print(json.dumps({"target": path, **response},
+                                     indent=2, sort_keys=True))
+                    if response.get("errors"):
+                        exit_code = 1
+                return exit_code
             elif verb == "stats":
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
             elif verb == "flush":
@@ -385,12 +497,41 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--abi", action="store_true",
                            help="apply calling-convention pinning around calls")
     translate.add_argument("--stats", action="store_true", help="print statistics to stderr")
+    translate.add_argument("--verify", default="off", choices=("off", "fast", "full"),
+                           help="run the staged invariant checkers during translation; "
+                                "findings print to stderr and errors fail the command")
+    translate.add_argument("--no-validate", action="store_true",
+                           help="skip the structural validation of the input file")
     translate.set_defaults(handler=command_translate)
 
     run = sub.add_parser("run", help="interpret a textual IR file")
     run.add_argument("file", help="path to a textual IR file")
     run.add_argument("--args", default="", help="comma-separated integer arguments")
+    run.add_argument("--no-validate", action="store_true",
+                     help="skip the structural validation of the input file")
     run.set_defaults(handler=command_run)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the staged invariant checkers over IR files (see docs/VERIFY.md)",
+    )
+    verify.add_argument("files", nargs="*", help="textual IR files to check")
+    verify.add_argument("--gallery", action="store_true",
+                        help="also check the paper's gallery programs")
+    verify.add_argument("--engine", default="us_i_linear_intercheck_livecheck",
+                        help="engine configuration to translate under (see 'repro list')")
+    verify.add_argument("--variant", default=None,
+                        help="coalescing strategy name (overrides --engine's strategy)")
+    verify.add_argument("--liveness", default=None,
+                        help="liveness backend override (see 'repro list')")
+    verify.add_argument("--interference", default=None,
+                        choices=sorted(INTERFERENCE_BACKENDS),
+                        help="interference backend override (see 'repro list')")
+    verify.add_argument("--level", default="full", choices=("fast", "full"),
+                        help="checker depth (fast: structural in/out; full: every stage)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the diagnostics as JSON")
+    verify.set_defaults(handler=command_verify)
 
     bench = sub.add_parser("bench", help="regenerate one of the paper's figures")
     bench.add_argument("--figure", type=int, default=5, choices=(5, 6, 7))
@@ -417,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which incremental subsystem to stress")
     stress.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
+    stress.add_argument("--verify", default="off", choices=("off", "fast", "full"),
+                        help="also translate the corpus in checked mode and report "
+                             "diagnostic counts plus checker overhead")
+    stress.add_argument("--engine", default="us_i_linear_intercheck_livecheck",
+                        help="engine configuration for the --verify table")
     stress.add_argument("--output", default=None,
                         help="also write the table to this file")
     stress.set_defaults(handler=command_stress)
@@ -443,11 +589,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     request = sub.add_parser("request", help="drive a running translation daemon")
     request.add_argument("verb",
-                         choices=("translate", "translate_batch", "stats", "flush",
-                                  "ping", "shutdown"),
+                         choices=("translate", "translate_batch", "verify", "stats",
+                                  "flush", "ping", "shutdown"),
                          help="protocol verb to issue")
     request.add_argument("files", nargs="*",
-                         help="textual IR files (translate/translate_batch)")
+                         help="textual IR files (translate/translate_batch/verify)")
+    request.add_argument("--level", default="full", choices=("fast", "full"),
+                         help="checker depth for the verify verb")
     request.add_argument("--host", default="127.0.0.1")
     request.add_argument("--port", type=int, required=True,
                          help="port the daemon printed at startup")

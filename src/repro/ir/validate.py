@@ -7,124 +7,51 @@ single assignment and the dominance property (every use dominated by its
 definition).  The ``br_dec`` counter is the one documented exception — the
 paper notes such counters are either "not promoted to SSA" or handled by edge
 splitting — and is accepted when ``allow_counter_redefinition`` is set.
+
+Both functions are thin raising shims over the collecting checkers of
+:mod:`repro.verify.checks`: they run the corresponding checker and raise a
+:class:`ValidationError` built from the first *error*-severity diagnostic.
+Warning-level findings — uses inside unreachable blocks (``V204``), whose
+dominance cannot be judged — do not raise; callers who want every finding
+(with stable codes and anchors) should call the checkers directly or use
+``repro verify``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set
 
-from repro.ir.block import BasicBlock
 from repro.ir.function import Function
-from repro.ir.instructions import (
-    BrDec,
-    Constant,
-    Instruction,
-    Phi,
-    Terminator,
-    Variable,
-)
+from repro.ir.instructions import Variable
 
 
 class ValidationError(ValueError):
     """Raised when a function violates an IR or SSA invariant."""
 
 
+def _raise_first_error(diagnostics: List) -> None:
+    for diag in diagnostics:
+        if diag.is_error:
+            anchor = diag.anchor()
+            prefix = f"{anchor}: " if anchor else ""
+            raise ValidationError(f"{prefix}{diag.message}")
+
+
 def validate_function(function: Function) -> None:
     """Check structural sanity of ``function``; raise ValidationError if broken."""
-    if not function.blocks:
-        raise ValidationError(f"{function.name}: function has no blocks")
-    if function.entry_label not in function.blocks:
-        raise ValidationError(f"{function.name}: entry label {function.entry_label!r} missing")
+    from repro.verify.checks import check_structure  # lazy: repro.ir imports this module
 
-    for block in function:
-        if block.terminator is None:
-            raise ValidationError(f"{function.name}:{block.label}: missing terminator")
-        for target in block.terminator.targets():
-            if target not in function.blocks:
-                raise ValidationError(
-                    f"{function.name}:{block.label}: branch to unknown block {target!r}"
-                )
-        for instruction in block.body:
-            if isinstance(instruction, (Phi, Terminator)):
-                raise ValidationError(
-                    f"{function.name}:{block.label}: {instruction!r} may not appear in a block body"
-                )
-
-    # φ arguments must exactly cover the predecessors.  Validation is
-    # read-only: refresh the predecessor cache defensively, but do not
-    # advance the structural generation (that would spuriously invalidate
-    # generation-stamped analyses of an unchanged function).
-    function.refresh_cfg_cache()
-    for block in function:
-        if not block.phis:
-            continue
-        preds = set(function.predecessors(block.label))
-        if not preds:
-            raise ValidationError(
-                f"{function.name}:{block.label}: phi-functions in a block with no predecessors"
-            )
-        for phi in block.phis:
-            labels = set(phi.args)
-            if labels != preds:
-                raise ValidationError(
-                    f"{function.name}:{block.label}: phi {phi.dst} arguments {sorted(labels)} "
-                    f"do not match predecessors {sorted(preds)}"
-                )
-
-    # The entry block must not have predecessors (keeps dominance simple).
-    if function.predecessors(function.entry_label):
-        raise ValidationError(
-            f"{function.name}: entry block {function.entry_label!r} has predecessors"
-        )
-
-
-def _definition_sites(function: Function) -> Dict[Variable, List[Tuple[str, Instruction]]]:
-    sites: Dict[Variable, List[Tuple[str, Instruction]]] = {}
-    for block in function:
-        for instruction in block.instructions():
-            for var in instruction.defs():
-                sites.setdefault(var, []).append((block.label, instruction))
-    return sites
+    _raise_first_error(check_structure(function))
 
 
 def validate_ssa(function: Function, allow_counter_redefinition: bool = True) -> None:
     """Check strict SSA form (single defs + dominance property)."""
     validate_function(function)
-    from repro.cfg.dominance import DominatorTree  # local import: avoid package cycle
-    from repro.ir.positions import definition_point, use_points
+    from repro.verify.checks import check_ssa  # lazy: repro.ir imports this module
 
-    sites = _definition_sites(function)
-    params = set(function.params)
-
-    # Single assignment.
-    for var, var_sites in sites.items():
-        non_counter_sites = [
-            site for site in var_sites
-            if not (allow_counter_redefinition and isinstance(site[1], BrDec))
-        ]
-        limit = 1
-        if var in params:
-            limit = 0
-        if len(non_counter_sites) > limit:
-            raise ValidationError(
-                f"{function.name}: variable {var} has {len(var_sites)} definitions"
-            )
-
-    # Dominance property: each use is dominated by its definition.
-    domtree = DominatorTree(function)
-    def_points = {var: definition_point(function, var) for var in sites}
-    for var, uses in use_points(function).items():
-        if var in params:
-            continue  # parameters are defined at the (virtual) function entry
-        def_point = def_points.get(var)
-        if def_point is None:
-            raise ValidationError(f"{function.name}: variable {var} used but never defined")
-        for use_point in uses:
-            if not def_point.dominates(use_point, domtree):
-                raise ValidationError(
-                    f"{function.name}: use of {var} at {use_point} not dominated by its "
-                    f"definition at {def_point}"
-                )
+    _raise_first_error(
+        check_ssa(function, allow_counter_redefinition=allow_counter_redefinition)
+    )
 
 
 def defined_variables(function: Function) -> Set[Variable]:

@@ -35,6 +35,10 @@ INTERFERENCE_BACKENDS: Dict[str, str] = {
 #: Policies for a φ-argument defined by the predecessor's terminator.
 ON_BRANCH_DEF_POLICIES = ("split", "error")
 
+#: Verification levels (mirrors ``repro.verify.stages.VERIFY_LEVELS``; spelled
+#: out here so this module never imports the verify package).
+VERIFY_LEVELS = ("off", "fast", "full")
+
 #: Version tag mixed into :meth:`EngineConfig.fingerprint`; bump when a knob
 #: is added or its semantics change so old fingerprints can never alias.
 _FINGERPRINT_VERSION = "ec1"
@@ -68,8 +72,19 @@ class EngineConfig:
     linear_class_check: bool = False
     #: What to do when a φ-argument is defined by the predecessor's terminator.
     on_branch_def: str = "split"
+    #: Verification level: "off" (unchecked), "fast" (structural input/output
+    #: checks) or "full" (every stage checker, including the interpreter
+    #: differential).  Diagnostic-only — a checked run translates
+    #: bit-identically to an unchecked one, so this knob is excluded from
+    #: :meth:`fingerprint`.
+    verify_level: str = "off"
 
     def __post_init__(self) -> None:
+        if self.verify_level not in VERIFY_LEVELS:
+            known = ", ".join(VERIFY_LEVELS)
+            raise ValueError(
+                f"unknown verify level {self.verify_level!r}; known levels: {known}"
+            )
         if not self.interference:
             object.__setattr__(
                 self, "interference", "matrix" if self.use_interference_graph else "query"
@@ -110,6 +125,10 @@ class EngineConfig:
         still hits a cache warmed under ``us_i``.  The leading version tag is
         bumped whenever a knob is added or its meaning changes, so stale
         fingerprints from older builds can never alias a current one.
+
+        ``verify_level`` is likewise excluded: verification only *observes*
+        the translation, so checked and unchecked runs of the same engine
+        produce (and may share) identical cached translations.
         """
         payload = "|".join(
             (
@@ -256,6 +275,14 @@ class EngineConfigBuilder:
         self._overrides["on_branch_def"] = policy
         return self
 
+    def verify(self, level: str) -> "EngineConfigBuilder":
+        """Select the verification level (``off`` / ``fast`` / ``full``)."""
+        if level not in VERIFY_LEVELS:
+            known = ", ".join(VERIFY_LEVELS)
+            raise ValueError(f"unknown verify level {level!r}; known levels: {known}")
+        self._overrides["verify_level"] = level
+        return self
+
     # -- terminal ------------------------------------------------------------
     def _derived_suffixes(self) -> List[str]:
         """One short tag per knob that differs from the base configuration."""
@@ -273,6 +300,8 @@ class EngineConfigBuilder:
             parts.append("linear" if overrides["linear_class_check"] else "quadratic")
         if overrides.get("on_branch_def", base.on_branch_def) != base.on_branch_def:
             parts.append(str(overrides["on_branch_def"]))
+        if overrides.get("verify_level", base.verify_level) != base.verify_level:
+            parts.append(f"verify_{overrides['verify_level']}")
         return parts
 
     def build(self) -> EngineConfig:

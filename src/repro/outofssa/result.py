@@ -8,7 +8,7 @@ the pass-based :class:`~repro.pipeline.Pipeline`, which both return the same
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.ir.function import Function
 from repro.ir.instructions import Variable
@@ -49,6 +49,11 @@ class OutOfSSAStats:
     num_blocks: int = 0                #: blocks after copy insertion / splitting
     candidate_variables: int = 0       #: φ-related + copy-related variables
     liveness_set_entries: int = 0      #: total entries of live-in/out ordered sets
+    # Verification (zero unless ``EngineConfig.verify_level`` enabled it).
+    verify_ms: float = 0.0             #: wall-clock the stage checkers took
+    verify_diagnostics: int = 0        #: total findings of the checked run
+    verify_errors: int = 0             #: error-severity findings
+    verify_warnings: int = 0           #: warning-severity findings
 
 
 @dataclass
@@ -62,6 +67,9 @@ class OutOfSSAResult:
     rename_map: Dict[Variable, Variable] = field(default_factory=dict)
     #: Wall-clock seconds per pipeline pass (empty for ad-hoc constructions).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The :class:`~repro.verify.diagnostics.VerifyReport` of a checked run
+    #: (``None`` when ``config.verify_level`` is ``"off"``).
+    verify_report: Optional[object] = None
 
     @property
     def memory_total_bytes(self) -> int:

@@ -264,7 +264,7 @@ class MaterializationPass(Pass):
         }
         materialize(
             function, rename_map, shared_destinations, ctx.frequencies, stats,
-            edit_log=edit_log,
+            edit_log=edit_log, lowered=ctx.lowered_pcopies,
         )
 
         if edit_log is not None:
@@ -309,6 +309,7 @@ def materialize(
     frequencies: Dict[str, float],
     stats,
     edit_log: Optional[EditLog] = None,
+    lowered: Optional[List] = None,
 ) -> None:
     """Rename to representatives, drop φs, sequentialize surviving copies.
 
@@ -317,6 +318,10 @@ def materialize(
     that with one ``variables_renamed`` entry for the rename map, which is
     what lets an incremental liveness patch itself over the materialized
     program.
+
+    When ``lowered`` is given (a checked run), every lowered parallel copy
+    appends a ``(block label, renamed pairs, emitted copies)`` record to it,
+    which the verifier's sequentialization check replays.
     """
 
     def fresh() -> Variable:
@@ -340,6 +345,8 @@ def materialize(
             seen_dsts.add(new_dst)
             pairs.append((new_dst, new_src))
         copies = sequentialize_parallel_copy(pairs, fresh)
+        if lowered is not None:
+            lowered.append((block_label, list(pairs), list(copies)))
         for copy in copies:
             if isinstance(copy.src, Constant):
                 stats.constant_moves += 1

@@ -88,6 +88,10 @@ class PipelineContext:
     external_cache: bool = False
     #: Wall-clock seconds per pass name (accumulated by the PassManager).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Set to a list by the verifier (full level) before materialization runs;
+    #: materialize() then appends one ``(block label, pairs, copies)`` record
+    #: per lowered parallel copy for the sequentialization check.
+    lowered_pcopies: Optional[List] = None
 
 
 # --------------------------------------------------------------------------- manager
@@ -105,8 +109,12 @@ class PassManager:
         self._passes.append(pass_)
         return self
 
-    def run(self, ctx: PipelineContext) -> None:
+    def run(self, ctx: PipelineContext, verifier=None) -> None:
         for pass_ in self._passes:
+            if verifier is not None:
+                # Checker time accrues to the verifier's report, never to the
+                # per-pass timings below.
+                verifier.before_pass(pass_.name, ctx)
             start = time.perf_counter()
             pass_.run(ctx)
             ctx.pass_seconds[pass_.name] = (
@@ -214,10 +222,25 @@ class Pipeline:
             frequencies=dict(frequencies) if frequencies is not None else None,
             external_cache=external_cache,
         )
+        verifier = None
+        if self.config.verify_level != "off":
+            # Lazy import: the verify package sits above the pipeline layer.
+            from repro.verify.stages import PipelineVerifier
+
+            verifier = PipelineVerifier(function, self.config.verify_level)
         start = time.perf_counter()
         with track_allocations(tracker):
-            self.manager.run(ctx)
+            self.manager.run(ctx, verifier=verifier)
+            if verifier is not None:
+                verifier.after_run(ctx)
         stats.elapsed_seconds = time.perf_counter() - start
+        report = None
+        if verifier is not None:
+            report = verifier.report
+            stats.verify_ms = report.seconds * 1e3
+            stats.verify_diagnostics = len(report.diagnostics)
+            stats.verify_errors = len(report.errors)
+            stats.verify_warnings = len(report.warnings)
         return OutOfSSAResult(
             function=function,
             config=self.config,
@@ -225,4 +248,5 @@ class Pipeline:
             tracker=tracker,
             rename_map=ctx.rename_map,
             pass_seconds=dict(ctx.pass_seconds),
+            verify_report=report,
         )

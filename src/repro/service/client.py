@@ -106,6 +106,12 @@ class ServiceClient:
         response = self._checked("translate_batch", irs=list(irs), engine=engine)
         return list(response["results"])
 
+    def verify(
+        self, ir: str, engine: Optional[str] = None, level: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Run the invariant checkers over one IR document on the daemon."""
+        return self._checked("verify", ir=ir, engine=engine, level=level)
+
     def stats(self) -> Dict[str, object]:
         return self._checked("stats")
 

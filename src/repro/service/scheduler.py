@@ -270,6 +270,24 @@ class ShardedScheduler:
         self._account(shard, result, time.perf_counter() - began)
         return result
 
+    def verify(
+        self,
+        source_text: str,
+        engine: Optional[EngineLike] = None,
+        level: str = "full",
+    ) -> Dict[str, object]:
+        """Run the invariant checkers on the request's affine shard.
+
+        Digest affinity matters here: only that shard's cache can hold the
+        program's warm translation, so only there can the cold-vs-cached
+        cross-check (``V601``) fire.
+        """
+        config = self.engine if engine is None else resolve_engine(engine)
+        shard = shard_of(text_digest(source_text), self.shards)
+        payload = self.services[shard].verify(source_text, engine=config, level=level)
+        payload["shard"] = shard
+        return payload
+
     # -- batches ----------------------------------------------------------------
     def translate_batch(
         self, texts: Sequence[str], engine: Optional[EngineLike] = None

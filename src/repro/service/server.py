@@ -14,6 +14,11 @@ Verbs
 ``translate_batch``
     ``irs`` (required): list of textual IR documents; the batch goes through
     the sharded scheduler (``results`` come back in input order).
+``verify``
+    ``ir`` (required): textual IR; ``level`` (optional, ``fast``/``full``):
+    run the staged invariant checkers over a throwaway checked translation
+    on the program's affine shard, cross-checking any cached translation of
+    the same digest against the cold result (diagnostic ``V601``).
 ``stats``
     Scheduler + per-shard + cache counters, uptime, engine fingerprint.
 ``flush``
@@ -134,6 +139,17 @@ class TranslationServer(socketserver.ThreadingTCPServer):
                     "ok": True,
                     "results": [result.to_payload() for result in results],
                 }, False
+            if verb == "verify":
+                ir = payload.get("ir")
+                if not isinstance(ir, str):
+                    raise ValueError("'verify' needs an 'ir' string field")
+                level = payload.get("level", "full")
+                if level not in ("fast", "full"):
+                    raise ValueError("'level' must be 'fast' or 'full'")
+                report = self.scheduler.verify(
+                    ir, engine=self._engine_of(payload), level=str(level)
+                )
+                return {"ok": True, **report}, False
             if verb == "stats":
                 return {
                     "ok": True,

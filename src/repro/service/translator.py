@@ -37,6 +37,7 @@ from repro.ir.digest import function_digest, text_digest
 from repro.ir.editlog import EditLog
 from repro.ir.parser import parse_function
 from repro.ir.printer import format_function
+from repro.ir.validate import validate_function
 from repro.outofssa.config import DEFAULT_ENGINE, EngineConfig
 from repro.pipeline.phases import CoalescingPass, out_of_ssa_passes
 from repro.pipeline.pipeline import EngineLike, Pipeline, resolve_engine
@@ -114,10 +115,15 @@ class TranslationService:
         capacity: int = 256,
         parallel_coalescing: int = 0,
         keep_warm_state: bool = True,
+        validate_ingest: bool = True,
     ) -> None:
         self.default_config = resolve_engine(engine)
         self.cache = cache if cache is not None else TranslationCache(capacity)
         self.parallel_coalescing = parallel_coalescing
+        #: Structurally validate parsed requests before translating (the
+        #: ingest boundary: malformed programs fail with a located error
+        #: instead of deep inside a pass).
+        self.validate_ingest = validate_ingest
         # Warm state is only retained when the cache can actually hold (and
         # eventually evict-and-release) it: with caching disabled the
         # eviction hook never runs, so a warm session would accumulate one
@@ -180,6 +186,8 @@ class TranslationService:
                     stats=dict(entry.stats),
                 )
             function = parse_function(source_text)
+            if self.validate_ingest:
+                validate_function(function)
             session = self._session(config)
             result = session.translate(function)
             ir_text = format_function(function)
@@ -288,6 +296,77 @@ class TranslationService:
                 translate_seconds=seconds,
                 stats=dict(entry.stats),
             )
+
+    # -- verification -----------------------------------------------------------
+    def verify(
+        self,
+        source_text: str,
+        engine: Optional[EngineLike] = None,
+        level: str = "full",
+    ) -> Dict[str, object]:
+        """Run the staged invariant checkers over one request's program.
+
+        The program is re-parsed and translated through a *throwaway* checked
+        pipeline (never the warm session — verification must not perturb warm
+        state), and when the cache already holds a translation of the same
+        digest the cold result is compared against it: a mismatch is the
+        service-level diagnostic ``V601``.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.verify.checks import check_structure
+        from repro.verify.diagnostics import VerifyReport, diagnostic
+
+        if level not in ("fast", "full"):
+            raise ValueError(f"verify level must be 'fast' or 'full', got {level!r}")
+        began = time.perf_counter()
+        config = self._resolve(engine)
+        digest = text_digest(source_text)
+        fingerprint = config.fingerprint()
+        function = parse_function(source_text)
+
+        structural = check_structure(function)
+        translated = not any(diag.is_error for diag in structural)
+        if translated:
+            checked = dc_replace(config, verify_level=level)
+            result = service_pipeline(checked).run(function)
+            report = result.verify_report
+            assert report is not None
+        else:
+            # Translation would crash on broken structure; report the input
+            # findings alone.
+            report = VerifyReport(function=function.name, level=level)
+            report.stages_run.append("input")
+            report.extend(structural)
+
+        with self._lock:
+            self.requests += 1
+            entry = self.cache.lookup(digest, fingerprint)
+        cached = entry is not None
+        match: Optional[bool] = None
+        if cached and translated:
+            match = entry.ir_text == format_function(function)
+            if not match:
+                report.extend([diagnostic(
+                    "V601",
+                    f"cached translation of digest {digest[:12]}… differs from "
+                    f"a cold retranslation under engine {config.name}",
+                    function=function.name, stage="service",
+                )])
+        report.seconds = time.perf_counter() - began
+        return {
+            "digest": digest,
+            "fingerprint": fingerprint,
+            "engine": config.name,
+            "level": level,
+            "cached": cached,
+            "match": match,
+            "ok": report.ok,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "seconds": report.seconds,
+            "diagnostics": [diag.to_payload() for diag in report.diagnostics],
+        }
 
     # -- scheduler hooks --------------------------------------------------------
     def probe(

@@ -110,6 +110,89 @@ class TestValidateSSA:
             validate_ssa(function, allow_counter_redefinition=False)
 
 
+class TestEdgeCases:
+    """Degenerate shapes the validator must neither crash on nor misjudge."""
+
+    def test_loop_phi_self_reference_is_valid(self):
+        # i1 = phi(entry: i0, body: i2) where i2 is computed from i1 — the
+        # back-edge makes this legal SSA, not a dominance violation.
+        validate_ssa(loop_function())
+
+    def test_phi_using_its_own_destination_rejected(self):
+        function = loop_function()
+        phi = function.blocks["header"].phis[0]
+        # Point the back-edge argument at the phi's own destination: the
+        # value would have to dominate its own definition.
+        for label in phi.args:
+            phi.args[label] = phi.dst
+        # Destroy the original definition of the old argument so the only
+        # remaining issue is the self-cycle.
+        with pytest.raises(ValidationError):
+            validate_ssa(function)
+
+    def test_branch_to_self_is_structurally_valid(self):
+        fb = FunctionBuilder("spin", params=("c",))
+        entry, loop, out = fb.blocks("entry", "loop", "out")
+        with fb.at(entry):
+            fb.jump(loop)
+        with fb.at(loop):
+            fb.branch("c", loop, out)
+        with fb.at(out):
+            fb.ret()
+        validate_function(fb.finish())
+
+    def test_phi_on_self_loop_needs_own_block_as_predecessor(self):
+        fb = FunctionBuilder("spin", params=("c",))
+        entry, loop, out = fb.blocks("entry", "loop", "out")
+        with fb.at(entry):
+            fb.jump(loop)
+        with fb.at(loop):
+            x = fb.phi("x", entry=0)  # misses the self-edge "loop"
+            fb.branch("c", loop, out)
+        with fb.at(out):
+            fb.ret(x)
+        with pytest.raises(ValidationError, match="do not match predecessors"):
+            validate_function(fb.finish())
+
+    def test_empty_body_blocks_are_valid(self):
+        fb = FunctionBuilder("empty_blocks")
+        entry, mid, end = fb.blocks("entry", "mid", "end")
+        with fb.at(entry):
+            fb.jump(mid)
+        with fb.at(mid):
+            fb.jump(end)  # terminator only, no body
+        with fb.at(end):
+            fb.ret()
+        function = fb.finish()
+        validate_function(function)
+        validate_ssa(function)
+
+    def test_unreachable_block_use_does_not_raise(self):
+        # Satellite: uses in unreachable blocks are a warning (V204), not a
+        # dominance error — dominance is undefined off the reachable CFG.
+        fb = FunctionBuilder("dead_code")
+        entry, dead = fb.blocks("entry", "dead")
+        with fb.at(entry):
+            fb.ret()
+        with fb.at(dead):
+            fb.print("ghost")
+            fb.ret()
+        validate_ssa(fb.finish())  # must not raise
+
+    def test_unreachable_block_use_reported_as_warning(self):
+        from repro.verify.checks import check_ssa
+
+        fb = FunctionBuilder("dead_code")
+        entry, dead = fb.blocks("entry", "dead")
+        with fb.at(entry):
+            fb.ret()
+        with fb.at(dead):
+            fb.print("ghost")
+            fb.ret()
+        diags = check_ssa(fb.finish())
+        assert [d.code for d in diags] == ["V204"]
+
+
 class TestHelpers:
     def test_defined_and_undefined_variables(self):
         fb = FunctionBuilder("f", params=("p",))
