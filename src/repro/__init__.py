@@ -70,7 +70,7 @@ from repro.coalescing.variants import VARIANTS, variant_by_name
 from repro.ssa.construction import construct_ssa
 from repro.ssa.copy_folding import fold_copies, value_number
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Function",

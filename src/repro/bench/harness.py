@@ -412,6 +412,207 @@ def run_service_throughput(
     return rows
 
 
+# --------------------------------------------------------------------------- service concurrency
+@dataclass
+class ServiceConcurrencyRow:
+    """One serving mode of the concurrent-clients experiment."""
+
+    mode: str
+    clients: int = 0
+    requests: int = 0
+    hits: int = 0
+    overloaded: int = 0
+    seconds: float = 0.0
+    #: Daemon-side translate latency percentiles observed during the run.
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    #: High-water admission queue depth the daemon recorded.
+    queue_peak: float = 0.0
+    #: vs the single blocking sequential client (1.0 for that row itself).
+    speedup_vs_blocking: float = 1.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.seconds if self.seconds else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def run_service_concurrency(
+    clients: int = 32,
+    requests_per_client: int = 12,
+    blocks: int = 600,
+    functions: int = 4,
+    engine: str = "us_i",
+    shards: int = 4,
+    workers: Optional[int] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> List[ServiceConcurrencyRow]:
+    """Blocking sequential serving vs N pipelined concurrent clients.
+
+    One live asyncio daemon serves the same warm repeat-heavy traffic two
+    ways: a single blocking client issuing ``clients × requests_per_client``
+    requests one at a time (the old thread-per-connection profile — each
+    request pays a full round trip before the next starts), then ``clients``
+    concurrent connections each pipelining ``requests_per_client`` requests
+    with no per-request thread anywhere.  Every response in both phases is
+    checked bit-identical to the cold pipeline reference; the pipelined row
+    carries the daemon's own latency percentiles and admission-queue
+    high-water mark from its ``metrics`` verb.
+
+    The daemon runs as a *subprocess* (``python -m repro serve``), exactly
+    like a deployment: in-process serving would put the clients and the
+    daemon under one GIL, where pipelining can only add contention —
+    cross-process, client-side serialization genuinely overlaps
+    server-side serving, which is the effect this experiment measures.
+    """
+    import asyncio
+    import os
+    import subprocess
+    import sys
+
+    import repro
+    from repro.bench.corpus import CorpusSpec, generate_stress_cfg
+    from repro.ir.parser import parse_function
+    from repro.ir.printer import format_function
+    from repro.pipeline.pipeline import Pipeline
+    from repro.service.client import AsyncServiceClient, ServiceClient
+
+    pool: List[str] = []
+    references: Dict[str, str] = {}
+    for index in range(functions):
+        spec = CorpusSpec(
+            name="async_serve",
+            seed=seed + index,
+            blocks=max(64, int(blocks * scale)),
+            loop_depth=3,
+            variables=8,
+        )
+        text = format_function(generate_stress_cfg(spec))
+        pool.append(text)
+        function = parse_function(text)
+        Pipeline.for_engine(engine).run(function)
+        references[text] = format_function(function)
+
+    total = clients * requests_per_client
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--engine", engine, "--shards", str(shards),
+        "--max-pending", str(max(64, total)),
+    ]
+    if workers is not None:
+        command += ["--workers", str(workers)]
+    daemon = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = 0
+    assert daemon.stdout is not None
+    for line in daemon.stdout:
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            break
+    if not port:
+        daemon.wait(timeout=15)
+        raise RuntimeError("repro serve subprocess exited before binding a port")
+    rows: List[ServiceConcurrencyRow] = []
+    try:
+        # Prewarm: both timed phases measure warm serving, not translation.
+        with ServiceClient(port=port) as warmup:
+            for text in pool:
+                if warmup.translate(text)["ir"] != references[text]:
+                    raise AssertionError("warmup response diverged from cold pipeline")
+
+        with ServiceClient(port=port) as blocking:
+            hits = 0
+            began = time.perf_counter()
+            for index in range(total):
+                response = blocking.translate(pool[index % len(pool)])
+                hits += 1 if response["cached"] else 0
+            blocking_seconds = time.perf_counter() - began
+        rows.append(
+            ServiceConcurrencyRow(
+                mode="blocking[1]", clients=1, requests=total, hits=hits,
+                seconds=blocking_seconds,
+            )
+        )
+
+        async def run_client(client_index: int) -> List[Dict[str, object]]:
+            client = AsyncServiceClient(port)
+            await client.connect()
+            try:
+                return await client.pipeline([
+                    {"verb": "translate",
+                     "ir": pool[(client_index + offset) % len(pool)]}
+                    for offset in range(requests_per_client)
+                ])
+            finally:
+                await client.close()
+
+        async def run_fleet() -> List[List[Dict[str, object]]]:
+            return await asyncio.gather(
+                *(run_client(index) for index in range(clients))
+            )
+
+        began = time.perf_counter()
+        fleet_responses = asyncio.run(run_fleet())
+        pipelined_seconds = time.perf_counter() - began
+
+        hits = overloaded = 0
+        for client_index, responses in enumerate(fleet_responses):
+            for offset, response in enumerate(responses):
+                if response.get("overloaded"):
+                    overloaded += 1
+                    continue
+                text = pool[(client_index + offset) % len(pool)]
+                if not response.get("ok") or response["ir"] != references[text]:
+                    raise AssertionError(
+                        f"pipelined client {client_index} request {offset} "
+                        f"diverged from the cold reference"
+                    )
+                hits += 1 if response["cached"] else 0
+
+        with ServiceClient(port=port) as probe:
+            metrics = probe.metrics()
+        latency = metrics["metrics"]["latency"].get("latency_translate", {})
+        gauges = metrics["metrics"]["gauges"]
+        rows.append(
+            ServiceConcurrencyRow(
+                mode=f"pipelined[{clients}]",
+                clients=clients, requests=total, hits=hits,
+                overloaded=overloaded, seconds=pipelined_seconds,
+                p50_ms=float(latency.get("p50_ms", 0.0)),
+                p95_ms=float(latency.get("p95_ms", 0.0)),
+                p99_ms=float(latency.get("p99_ms", 0.0)),
+                queue_peak=float(gauges.get("queue_depth_peak", 0.0)),
+                speedup_vs_blocking=(
+                    blocking_seconds / pipelined_seconds if pipelined_seconds else 0.0
+                ),
+            )
+        )
+    finally:
+        try:
+            with ServiceClient(port=port) as closer:
+                closer.shutdown()
+            daemon.wait(timeout=15)
+        except Exception:
+            daemon.kill()
+            daemon.wait(timeout=15)
+        finally:
+            daemon.stdout.close()
+    return rows
+
+
 # --------------------------------------------------------------------------- verify stress
 @dataclass
 class VerifyStressRow:

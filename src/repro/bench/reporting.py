@@ -165,6 +165,38 @@ def format_service_throughput(rows) -> str:
     return _format_table(headers, table_rows)
 
 
+def format_service_concurrency(rows) -> str:
+    """The concurrent-clients experiment: blocking vs pipelined serving.
+
+    One line per serving mode against the same live daemon and the same warm
+    request stream.  ``p50/p95/p99`` are the daemon's own translate-latency
+    percentiles from its ``metrics`` verb, ``queue peak`` the admission
+    queue's high-water mark, and ``speedup`` each mode's wall-clock against
+    the single blocking sequential client.
+    """
+    headers = [
+        "mode", "clients", "requests", "hit rate", "shed", "seconds", "req/s",
+        "p50 ms", "p95 ms", "p99 ms", "queue peak", "speedup",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.mode,
+            str(row.clients),
+            str(row.requests),
+            f"{row.hit_rate * 100:.0f}%",
+            str(row.overloaded),
+            f"{row.seconds:.3f}",
+            f"{row.requests_per_second:.1f}",
+            f"{row.p50_ms:.2f}" if row.p50_ms else "-",
+            f"{row.p95_ms:.2f}" if row.p95_ms else "-",
+            f"{row.p99_ms:.2f}" if row.p99_ms else "-",
+            f"{row.queue_peak:.0f}" if row.queue_peak else "-",
+            f"{row.speedup_vs_blocking:.1f}x",
+        ])
+    return _format_table(headers, table_rows)
+
+
 def format_interference_stress(rows) -> str:
     """The interference stress experiment: cold matrix rebuild vs incremental.
 

@@ -51,6 +51,7 @@ from repro.bench.harness import (
     run_figure5,
     run_figure6,
     run_figure7,
+    run_service_concurrency,
     run_service_throughput,
 )
 from repro.bench.metrics import copy_counts
@@ -59,6 +60,7 @@ from repro.bench.reporting import (
     format_figure6,
     format_figure7,
     format_interference_stress,
+    format_service_concurrency,
     format_service_throughput,
     format_stress,
 )
@@ -323,6 +325,10 @@ def command_serve(args: argparse.Namespace) -> int:
             mode=args.mode,
             capacity=args.capacity,
             parallel_coalescing=args.parallel_coalescing,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            max_pipeline=args.max_pipeline,
+            metrics_interval=args.metrics_interval,
         )
     except (OSError, ValueError) as error:
         raise SystemExit(f"repro serve: {error}") from None
@@ -376,6 +382,8 @@ def command_request(args: argparse.Namespace) -> int:
                 return exit_code
             elif verb == "stats":
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            elif verb == "metrics":
+                print(json.dumps(client.metrics(), indent=2, sort_keys=True))
             elif verb == "flush":
                 print(f"flushed {client.flush()} cache entries")
             elif verb == "ping":
@@ -405,6 +413,17 @@ def command_bench_serve(args: argparse.Namespace) -> int:
         message = error.args[0] if error.args else str(error)
         raise SystemExit(f"repro bench-serve: {message}") from None
     table = format_service_throughput(rows)
+    if args.clients:
+        concurrency_rows = run_service_concurrency(
+            clients=args.clients,
+            blocks=args.blocks,
+            functions=args.functions,
+            engine=args.engine,
+            shards=args.shards,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        table += "\n\n" + format_service_concurrency(concurrency_rows)
     print(table)
     if args.output:
         with open(args.output, "w") as handle:
@@ -585,12 +604,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--parallel-coalescing", type=int, default=0,
                        help="worker threads for the in-shard class-row merge prefilter "
                             "(0/1 = serial coalescing)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="translation worker threads (default: max(2, shards))")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission limit: queued+running items before requests "
+                            "are shed with an 'overloaded' response")
+    serve.add_argument("--max-pipeline", type=int, default=32,
+                       help="in-flight requests per connection before reads pause")
+    serve.add_argument("--metrics-interval", type=float, default=0.0,
+                       help="seconds between metrics log lines (0 disables)")
     serve.set_defaults(handler=command_serve)
 
     request = sub.add_parser("request", help="drive a running translation daemon")
     request.add_argument("verb",
                          choices=("translate", "translate_batch", "verify", "stats",
-                                  "flush", "ping", "shutdown"),
+                                  "metrics", "flush", "ping", "shutdown"),
                          help="protocol verb to issue")
     request.add_argument("files", nargs="*",
                          help="textual IR files (translate/translate_batch/verify)")
@@ -626,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="scheduler mode for the sharded row")
     bench_serve.add_argument("--parallel-coalescing", type=int, default=0,
                              help="in-shard parallel coalescing workers")
+    bench_serve.add_argument("--clients", type=int, default=0,
+                             help="also run the pipelined concurrent-clients "
+                                  "experiment with this many connections (0 skips)")
     bench_serve.add_argument("--seed", type=int, default=0, help="corpus base seed")
     bench_serve.add_argument("--output", default=None,
                              help="also write the table to this file")

@@ -18,14 +18,21 @@ hot functions:
   (threads for warm traffic, processes for cold batches), plus the in-shard
   parallel coalescing mode over the congruence-class matrix rows;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib-only
-  newline-delimited-JSON socket daemon (``repro serve``) and its client.
+  asyncio socket daemon (``repro serve``) speaking an id-tagged, pipelined
+  newline-delimited-JSON protocol with streamed batches, admission control
+  and per-connection backpressure, plus its clients (an asyncio core and a
+  blocking façade);
+* :mod:`repro.service.metrics` — :class:`MetricsRegistry`, the daemon's
+  lock-cheap counters, gauges and latency histograms behind the ``metrics``
+  verb.
 
 See ``docs/SERVICE.md`` for the protocol, the cache keying and the
 warm-vs-cold lifecycle.
 """
 
 from repro.service.cache import CachedTranslation, CacheStats, TranslationCache, WarmState
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.scheduler import (
     ParallelCoalescingPass,
     ShardedScheduler,
@@ -37,8 +44,11 @@ from repro.service.server import TranslationServer
 from repro.service.translator import ServiceResult, TranslationService, service_pipeline
 
 __all__ = [
+    "AsyncServiceClient",
     "CacheStats",
     "CachedTranslation",
+    "LatencyHistogram",
+    "MetricsRegistry",
     "ParallelCoalescingPass",
     "ServiceClient",
     "ServiceError",

@@ -1,29 +1,355 @@
-"""Client for the ``repro serve`` daemon (stdlib only).
+"""Clients for the ``repro serve`` daemon (stdlib only).
 
-One :class:`ServiceClient` owns one TCP connection and speaks the
-newline-delimited JSON protocol of :mod:`repro.service.server`: requests out,
-responses back, strictly in order.  Protocol-level failures (``ok: false``)
-raise :class:`ServiceError` from the convenience verbs; :meth:`request` is
-the raw escape hatch that returns whatever the server said.
+Two layers over the same pipelined protocol (``repro-serve/2``):
 
-    with ServiceClient(port=port) as client:
-        client.ping()
-        translated = client.translate(ir_text)["ir"]
+* :class:`AsyncServiceClient` — the asyncio core.  One TCP connection
+  carries any number of concurrently in-flight requests: every request gets
+  a client-assigned ``id``, a background pump task routes responses back by
+  that id in whatever order the daemon finishes them, and
+  ``translate_batch`` exposes the streamed per-item frames either
+  reassembled (:meth:`AsyncServiceClient.translate_batch`) or as they
+  arrive (:meth:`AsyncServiceClient.stream_batch`).
+
+* :class:`ServiceClient` — the synchronous façade existing callers keep
+  using.  It owns a private event loop on a daemon thread and forwards each
+  call with ``run_coroutine_threadsafe``; the blocking API is unchanged
+  from the request/response client it replaces::
+
+      with ServiceClient(port=port) as client:
+          client.ping()
+          translated = client.translate(ir_text)["ir"]
+
+Protocol-level failures (``ok: false``) raise :class:`ServiceError` from
+the convenience verbs; ``request`` is the raw escape hatch that returns
+whatever the server said.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
-import socket
-from typing import Dict, List, Optional
+import threading
+from collections import deque
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import AsyncIterator, Deque, Dict, List, Optional, Sequence
 
 
 class ServiceError(RuntimeError):
     """The daemon answered ``ok: false`` (or the connection broke)."""
 
 
+def _strip_frame(frame: Dict[str, object]) -> Dict[str, object]:
+    """A streamed item frame minus the protocol bookkeeping keys."""
+    return {
+        key: value
+        for key, value in frame.items()
+        if key not in ("id", "item", "done", "ok")
+    }
+
+
+class AsyncServiceClient:
+    """The asyncio core: one connection, many pipelined in-flight requests."""
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        limit: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.limit = limit
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+        self._next_id = 0
+        #: Single-response requests awaiting their frame, by id.
+        self._pending: Dict[int, asyncio.Future] = {}
+        #: Streaming requests (batches): id -> queue of frames; a ``None``
+        #: sentinel means the connection died mid-stream.
+        self._streams: Dict[int, asyncio.Queue] = {}
+        #: Frames that matched no in-flight id (diagnostics, tests).
+        self.unrouted: Deque[Dict[str, object]] = deque(maxlen=64)
+        self._closing = False
+
+    # -- connection --------------------------------------------------------------
+    async def connect(self) -> "AsyncServiceClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=self.limit
+            )
+            self._write_lock = asyncio.Lock()
+            self._closing = False
+            self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        return self
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            self._pump_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_all("client closed")
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # -- the response pump -------------------------------------------------------
+    async def _pump(self) -> None:
+        """Read frames forever, routing each to its request by id."""
+        broken: Optional[BaseException] = None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    continue  # not ours to crash on; keep pumping
+                if isinstance(frame, dict):
+                    self._route(frame)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError) as error:
+            broken = error
+        finally:
+            if not self._closing:
+                detail = f": {broken}" if broken else ""
+                self._fail_all(
+                    f"connection to {self.host}:{self.port} closed mid-request{detail}"
+                )
+
+    def _route(self, frame: Dict[str, object]) -> None:
+        request_id = frame.get("id")
+        queue = self._streams.get(request_id)
+        if queue is not None:
+            queue.put_nowait(frame)
+            # Terminal frame or a whole-batch error (no per-item keys at
+            # all): the stream is finished, unregister it.
+            if frame.get("done") or "item" not in frame:
+                del self._streams[request_id]
+            return
+        future = self._pending.pop(request_id, None)
+        if future is not None:
+            if not future.done():
+                future.set_result(frame)
+        else:
+            self.unrouted.append(frame)
+
+    def _fail_all(self, message: str) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ServiceError(message))
+        streams, self._streams = self._streams, {}
+        for queue in streams.values():
+            queue.put_nowait(None)
+
+    # -- submission --------------------------------------------------------------
+    async def _send(self, payload: Dict[str, object]) -> None:
+        await self.connect()
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    def _claim_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    async def _submit(self, payload: Dict[str, object]) -> asyncio.Future:
+        await self.connect()
+        request_id = self._claim_id()
+        payload["id"] = request_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await self._send(payload)
+        except (ConnectionError, OSError):
+            self._pending.pop(request_id, None)
+            raise
+        return future
+
+    async def _submit_stream(self, payload: Dict[str, object]) -> asyncio.Queue:
+        await self.connect()
+        request_id = self._claim_id()
+        payload["id"] = request_id
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[request_id] = queue
+        try:
+            await self._send(payload)
+        except (ConnectionError, OSError):
+            self._streams.pop(request_id, None)
+            raise
+        return queue
+
+    @staticmethod
+    def _payload(verb: str, fields: Dict[str, object]) -> Dict[str, object]:
+        payload: Dict[str, object] = {"verb": verb}
+        payload.update({key: value for key, value in fields.items() if value is not None})
+        return payload
+
+    # -- raw protocol ------------------------------------------------------------
+    async def request(self, verb: str, **fields) -> Dict[str, object]:
+        """Send one request, return the raw response object.
+
+        ``translate_batch`` is streamed on the wire; here the stream is
+        reassembled into the classic single-object shape — ``results`` in
+        input order plus the terminal frame's ``count``/``errors`` — with
+        ``ok`` false whenever any item failed.
+        """
+        payload = self._payload(verb, fields)
+        if verb == "translate_batch" and isinstance(payload.get("irs"), list):
+            return await self._request_batch(payload)
+        future = await self._submit(payload)
+        return await future
+
+    async def _request_batch(self, payload: Dict[str, object]) -> Dict[str, object]:
+        count = len(payload["irs"])
+        frames: List[Optional[Dict[str, object]]] = [None] * count
+        terminal: Optional[Dict[str, object]] = None
+        async for frame in self._stream(payload):
+            if frame.get("done"):
+                terminal = frame
+            elif "item" in frame:
+                frames[frame["item"]] = frame
+            else:
+                return frame  # whole-batch error (bad irs, unknown engine, overloaded)
+        if terminal is None:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} closed mid-batch"
+            )
+        failed = [frame for frame in frames if frame is not None and not frame.get("ok")]
+        response = dict(terminal)
+        response["ok"] = bool(terminal.get("ok")) and not failed
+        response["results"] = frames
+        if failed:
+            response["error"] = str(failed[0].get("error", "batch item failed"))
+        return response
+
+    async def _stream(
+        self, payload: Dict[str, object]
+    ) -> AsyncIterator[Dict[str, object]]:
+        queue = await self._submit_stream(payload)
+        while True:
+            frame = await queue.get()
+            if frame is None:
+                raise ServiceError(
+                    f"connection to {self.host}:{self.port} closed mid-batch"
+                )
+            yield frame
+            if frame.get("done") or "item" not in frame:
+                return
+
+    async def _checked(self, verb: str, **fields) -> Dict[str, object]:
+        response = await self.request(verb, **fields)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown service error")))
+        return response
+
+    # -- verbs -------------------------------------------------------------------
+    async def ping(self) -> Dict[str, object]:
+        return await self._checked("ping")
+
+    async def translate(self, ir: str, engine: Optional[str] = None) -> Dict[str, object]:
+        """Translate one textual IR document; the response carries ``ir``."""
+        return await self._checked("translate", ir=ir, engine=engine)
+
+    async def translate_batch(
+        self, irs: Sequence[str], engine: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Translate a batch; per-request payloads in input order.
+
+        Raises :class:`ServiceError` if the batch as a whole or any item
+        failed (the whole-batch contract of the blocking protocol).
+        """
+        response = await self._checked("translate_batch", irs=list(irs), engine=engine)
+        return [_strip_frame(frame) for frame in response["results"]]
+
+    async def stream_batch(
+        self, irs: Sequence[str], engine: Optional[str] = None
+    ) -> AsyncIterator[Dict[str, object]]:
+        """Yield the batch's raw frames as the daemon's shards finish them.
+
+        Item frames (``"item"``, ``"done": false``) arrive in completion
+        order; the terminal frame (``"done": true``) is yielded last.  A
+        whole-batch error is yielded as the only frame.
+        """
+        payload = self._payload("translate_batch", {"irs": list(irs), "engine": engine})
+        async for frame in self._stream(payload):
+            yield frame
+
+    async def verify(
+        self, ir: str, engine: Optional[str] = None, level: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Run the invariant checkers over one IR document on the daemon."""
+        return await self._checked("verify", ir=ir, engine=engine, level=level)
+
+    async def stats(self) -> Dict[str, object]:
+        return await self._checked("stats")
+
+    async def metrics(self) -> Dict[str, object]:
+        """The daemon's live serving metrics (queues, hit rates, latency)."""
+        return await self._checked("metrics")
+
+    async def flush(self) -> int:
+        """Flush the daemon's caches; returns how many entries were dropped."""
+        return int((await self._checked("flush"))["flushed"])
+
+    async def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to stop (acknowledged before it goes down)."""
+        return await self._checked("shutdown")
+
+    async def pipeline(
+        self, requests: Sequence[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Submit many requests at once; raw responses in request order.
+
+        Every request is written before any response is awaited, so all of
+        them are in flight on the one connection simultaneously — the
+        pipelined mode the async daemon exists for.  Each entry is a dict
+        with a ``verb`` key plus the verb's fields.
+        """
+        coroutines = [
+            self.request(entry["verb"], **{k: v for k, v in entry.items() if k != "verb"})
+            for entry in requests
+        ]
+        return list(await asyncio.gather(*coroutines))
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"AsyncServiceClient({self.host}:{self.port}, {state})"
+
+
 class ServiceClient:
-    """One connection to a translation daemon."""
+    """Blocking façade over :class:`AsyncServiceClient`.
+
+    The original request/response client's API, backed by a private event
+    loop on a daemon thread; ``timeout`` bounds each blocking call (a
+    timed-out call raises :class:`ServiceError`).  Connection-establishment
+    errors (``ConnectionRefusedError`` et al.) propagate as ``OSError``
+    exactly as the socket client raised them.
+    """
 
     def __init__(
         self,
@@ -34,31 +360,44 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = None
-        self._file = None
+        self._async: Optional[AsyncServiceClient] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
 
     # -- connection --------------------------------------------------------------
     def connect(self) -> "ServiceClient":
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+        if self._async is None:
+            self._loop = asyncio.new_event_loop()
+            self._thread = threading.Thread(
+                target=self._loop.run_forever, name="repro-client", daemon=True
             )
-            self._file = self._sock.makefile("rwb")
+            self._thread.start()
+            client = AsyncServiceClient(self.port, host=self.host)
+            try:
+                self._run(client.connect())
+            except BaseException:
+                self._stop_loop()
+                raise
+            self._async = client
         return self
 
     def close(self) -> None:
-        if self._file is not None:
+        if self._async is not None:
             try:
-                self._file.close()
-            except OSError:
+                self._run(self._async.close())
+            except (ServiceError, OSError, RuntimeError):
                 pass
-            self._file = None
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+            self._async = None
+        self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
 
     def __enter__(self) -> "ServiceClient":
         return self.connect()
@@ -66,24 +405,22 @@ class ServiceClient:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    def _run(self, coroutine):
+        """Run one coroutine on the client loop, bounded by ``timeout``."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        try:
+            return future.result(self.timeout)
+        except FutureTimeoutError as error:
+            future.cancel()
+            raise ServiceError(
+                f"request to {self.host}:{self.port} timed out after {self.timeout}s"
+            ) from error
+
     # -- raw protocol ------------------------------------------------------------
     def request(self, verb: str, **fields) -> Dict[str, object]:
         """Send one request, return the raw response object."""
         self.connect()
-        payload = {"verb": verb}
-        payload.update({key: value for key, value in fields.items() if value is not None})
-        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceError(f"connection to {self.host}:{self.port} closed mid-request")
-        try:
-            response = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError) as error:
-            raise ServiceError(f"malformed response: {error}") from error
-        if not isinstance(response, dict):
-            raise ServiceError(f"malformed response: expected object, got {response!r}")
-        return response
+        return self._run(self._async.request(verb, **fields))
 
     def _checked(self, verb: str, **fields) -> Dict[str, object]:
         response = self.request(verb, **fields)
@@ -103,8 +440,8 @@ class ServiceClient:
         self, irs: List[str], engine: Optional[str] = None
     ) -> List[Dict[str, object]]:
         """Translate a batch; per-request payloads in input order."""
-        response = self._checked("translate_batch", irs=list(irs), engine=engine)
-        return list(response["results"])
+        self.connect()
+        return self._run(self._async.translate_batch(list(irs), engine=engine))
 
     def verify(
         self, ir: str, engine: Optional[str] = None, level: Optional[str] = None
@@ -115,6 +452,10 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._checked("stats")
 
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's live serving metrics (queues, hit rates, latency)."""
+        return self._checked("metrics")
+
     def flush(self) -> int:
         """Flush the daemon's caches; returns how many entries were dropped."""
         return int(self._checked("flush")["flushed"])
@@ -123,6 +464,13 @@ class ServiceClient:
         """Ask the daemon to stop (acknowledged before it goes down)."""
         return self._checked("shutdown")
 
+    def pipeline(
+        self, requests: Sequence[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Submit many requests pipelined; raw responses in request order."""
+        self.connect()
+        return self._run(self._async.pipeline(requests))
+
     def __repr__(self) -> str:
-        state = "connected" if self._sock is not None else "disconnected"
+        state = "connected" if self._async is not None else "disconnected"
         return f"ServiceClient({self.host}:{self.port}, {state})"

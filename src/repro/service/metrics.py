@@ -1,0 +1,146 @@
+"""Live serving metrics: counters, gauges and latency histograms.
+
+The async daemon feeds one :class:`MetricsRegistry` from its event loop and
+worker threads; the ``metrics`` verb (and the ``--metrics-interval`` log
+line) snapshot it for scraping.  Three instrument kinds:
+
+* **counters** — monotone event totals (``requests_total``, ``hits_total``,
+  ``overloaded_total``, …);
+* **gauges** — point-in-time levels with a tracked high-water mark
+  (``queue_depth`` also records ``queue_depth_peak``: the deepest the
+  admission queue ever got, which is what a load test wants to see);
+* **latency histograms** — log-spaced fixed buckets per verb, reporting
+  count, mean and approximate p50/p95/p99 (each percentile is the upper
+  bound of the bucket the rank falls in, so reported percentiles are
+  conservative: never below the true value by more than one bucket).
+
+Everything is lock-cheap by design: one :class:`threading.Lock` guards the
+registry, every critical section is a few integer operations (a histogram
+``observe`` is one bisect plus three adds), and snapshots copy the state out
+so readers never hold the lock while formatting.  Writers on the event loop
+and readers on worker threads therefore never block each other for longer
+than a bucket increment — the fix for the stat-aggregation races the
+thread-per-connection daemon tolerated (only its request counter was
+locked; every other counter relied on the GIL).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Sequence
+
+#: Log-spaced latency bucket upper bounds, in seconds: 100 µs … 10 s, plus an
+#: implicit overflow bucket.  A warm cache hit lands in the first buckets, a
+#: cold 5k-block translation in the 0.1–1 s range.
+DEFAULT_BUCKETS: Sequence[float] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency distribution with approximate percentiles."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        #: One slot per bound plus the overflow bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding the ``q``-quantile rank.
+
+        Returns 0.0 on an empty histogram; overflow observations report the
+        last finite bound (a floor — the true value is at least that).
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= target and bucket:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]
+        return self.bounds[-1]
+
+    def to_payload(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1e3, 4),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 4),
+            "p95_ms": round(self.quantile(0.95) * 1e3, 4),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram({self.count} observations)"
+
+
+class MetricsRegistry:
+    """One daemon's counters, gauges and histograms behind one cheap lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- writers -----------------------------------------------------------------
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a gauge, tracking its high-water mark as ``<name>_peak``."""
+        with self._lock:
+            self._gauges[name] = value
+            peak = f"{name}_peak"
+            if value > self._gauges.get(peak, 0):
+                self._gauges[peak] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    # -- readers -----------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe copy of everything (what the ``metrics`` verb returns)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "latency": {
+                    name: histogram.to_payload()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+            )

@@ -40,12 +40,13 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.coalescing.engine import AggressiveCoalescer, CoalescingStats
 from repro.interference.base import InterferenceKind
 from repro.interference.congruence import CongruenceClasses
 from repro.ir.digest import text_digest
+from repro.ir.parser import ParseError
 from repro.outofssa.config import DEFAULT_ENGINE, EngineConfig
 from repro.pipeline.phases import CoalescingPass
 from repro.pipeline.pipeline import EngineLike, resolve_engine
@@ -270,6 +271,25 @@ class ShardedScheduler:
         self._account(shard, result, time.perf_counter() - began)
         return result
 
+    def try_hit(
+        self, source_text: str, engine: Optional[EngineLike] = None
+    ) -> Optional[ServiceResult]:
+        """Non-blocking warm-hit probe on the affine shard (or ``None``).
+
+        Mirrors :meth:`TranslationService.try_hit`: no translation is ever
+        started and the shard lock is never waited on, so this is safe to
+        call from an event loop.
+        """
+        config = self.engine if engine is None else resolve_engine(engine)
+        shard = shard_of(text_digest(source_text), self.shards)
+        began = time.perf_counter()
+        result = self.services[shard].try_hit(source_text, engine=config)
+        if result is None:
+            return None
+        result.shard = shard
+        self._account(shard, result, time.perf_counter() - began)
+        return result
+
     def verify(
         self,
         source_text: str,
@@ -289,15 +309,69 @@ class ShardedScheduler:
         return payload
 
     # -- batches ----------------------------------------------------------------
+    def partition(self, texts: Sequence[str]) -> Dict[int, List[int]]:
+        """Request indices grouped by their digest-affine shard."""
+        partitions: Dict[int, List[int]] = {i: [] for i in range(self.shards)}
+        for index, text in enumerate(texts):
+            partitions[shard_of(text_digest(text), self.shards)].append(index)
+        return partitions
+
+    def stream_shard(
+        self,
+        shard: int,
+        texts: Sequence[str],
+        indices: Sequence[int],
+        engine: Optional[EngineLike] = None,
+        emit: Optional[Callable] = None,
+        cancelled: Optional[threading.Event] = None,
+    ) -> int:
+        """Translate one shard's batch slice item by item, emitting each.
+
+        The streaming half of a pipelined ``translate_batch``: the async
+        daemon runs one ``stream_shard`` per non-empty partition on its
+        worker pool, and ``emit(index, result, error)`` fires *from the
+        calling thread* as each item completes — so results stream in
+        completion order across shards instead of waiting for batch end.
+        Per-item failures (parse errors, unknown engines) are reported
+        through ``emit`` with ``result=None`` and never abort the slice.
+
+        ``cancelled`` (a :class:`threading.Event`) aborts between items:
+        when a client abandons its connection mid-batch, the shard stops
+        burning time after the translation already in flight.  Returns how
+        many items were served (emitted with a result).
+        """
+        config = self.engine if engine is None else resolve_engine(engine)
+        began = time.perf_counter()
+        served = 0
+        try:
+            for index in indices:
+                if cancelled is not None and cancelled.is_set():
+                    break
+                try:
+                    result = self.services[shard].translate_text(
+                        texts[index], engine=config
+                    )
+                except (ParseError, KeyError, ValueError, TypeError) as error:
+                    message = error.args[0] if error.args else str(error)
+                    if emit is not None:
+                        emit(index, None, str(message))
+                    continue
+                result.shard = shard
+                self._account(shard, result, 0.0)
+                served += 1
+                if emit is not None:
+                    emit(index, result, None)
+        finally:
+            self._account_seconds(shard, time.perf_counter() - began)
+        return served
+
     def translate_batch(
         self, texts: Sequence[str], engine: Optional[EngineLike] = None
     ) -> List[ServiceResult]:
         """Serve a batch, partitioned across shards; results in input order."""
         config = self.engine if engine is None else resolve_engine(engine)
         results: List[Optional[ServiceResult]] = [None] * len(texts)
-        partitions: Dict[int, List[int]] = {i: [] for i in range(self.shards)}
-        for index, text in enumerate(texts):
-            partitions[shard_of(text_digest(text), self.shards)].append(index)
+        partitions = self.partition(texts)
 
         if self.mode == "process":
             self._run_batch_process(texts, partitions, config, results)

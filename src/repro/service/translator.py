@@ -368,6 +368,41 @@ class TranslationService:
             "diagnostics": [diag.to_payload() for diag in report.diagnostics],
         }
 
+    def try_hit(
+        self, source_text: str, engine: Optional[EngineLike] = None
+    ) -> Optional[ServiceResult]:
+        """A non-blocking warm-hit probe for latency-sensitive callers.
+
+        Returns the cached translation only when the entry is warm *and*
+        the service lock is immediately available; returns ``None`` on a
+        miss or while a cold translation holds the lock, so a caller on an
+        event loop can fall back to a worker thread instead of stalling.
+        A served hit counts exactly like a :meth:`translate_text` hit.
+        """
+        began = time.perf_counter()
+        config = self._resolve(engine)
+        digest = text_digest(source_text)
+        fingerprint = config.fingerprint()
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            entry = self.cache.lookup(digest, fingerprint)
+            if entry is None:
+                return None
+            self.requests += 1
+            return ServiceResult(
+                digest=digest,
+                fingerprint=fingerprint,
+                engine=entry.engine_name,
+                ir_text=entry.ir_text,
+                kind="hit",
+                seconds=time.perf_counter() - began,
+                translate_seconds=entry.seconds,
+                stats=dict(entry.stats),
+            )
+        finally:
+            self._lock.release()
+
     # -- scheduler hooks --------------------------------------------------------
     def probe(
         self, source_text: str, engine: Optional[EngineLike] = None

@@ -1,0 +1,195 @@
+"""Property tests: concurrency never changes a served byte.
+
+Seeded random storms of concurrent pipelined clients — mixed verbs
+(translate, repeat translations, batches, flushes, stats/metrics probes)
+with connections dropped mid-pipeline and reopened — against one live
+daemon.  Two claims, in the spirit of ``test_service_cache_props.py``:
+
+1. *Bit-identity under concurrency* — every request the daemon answers
+   successfully carries exactly the cold ``Session``/pipeline output for
+   its program, no matter how many clients were in flight, how often the
+   cache was flushed under them, or how many neighbours vanished mid-batch.
+2. *Stats stay consistent* — after the storm, every shard's accounting
+   satisfies ``requests == hits + cold``, the scheduler totals agree with
+   the shard rows, and the daemon's metric counters never exceed what the
+   scheduler actually served.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.ir import format_function, parse_function
+from repro.pipeline import Pipeline
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.server import TranslationServer
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+ENGINE = "us_i"
+
+
+def _pool(count: int = 6, size: int = 22):
+    texts = [
+        format_function(generate_ssa_program(GeneratorConfig(seed=seed, size=size)))
+        for seed in range(count)
+    ]
+    references = {}
+    for text in texts:
+        function = parse_function(text)
+        Pipeline.for_engine(ENGINE).run(function)
+        references[text] = format_function(function)
+    return texts, references
+
+
+POOL, REFERENCES = _pool()
+
+ACTIONS = (
+    "translate", "translate", "translate", "translate",
+    "batch", "batch", "metrics", "stats", "flush", "drop",
+)
+
+
+async def _client_storm(port: int, rng: random.Random, outcome: dict) -> None:
+    """One client's random script: pipelined verbs, sometimes vanishing."""
+
+    client = AsyncServiceClient(port)
+    await client.connect()
+    pending = []
+
+    async def settle() -> None:
+        nonlocal pending
+        tasks, pending = pending, []
+        for kind, expected, task in tasks:
+            try:
+                response = await task
+            except (ServiceError, ConnectionError, OSError):
+                outcome["dropped"] += 1  # a vanished connection loses answers
+                continue
+            if kind == "translate":
+                assert response["ir"] == REFERENCES[expected], (
+                    "concurrent translate diverged from the cold reference"
+                )
+                outcome["answered"] += 1
+            elif kind == "batch":
+                assert len(response) == len(expected)
+                for text, payload in zip(expected, response):
+                    assert payload["ir"] == REFERENCES[text], (
+                        "concurrent batch item diverged from the cold reference"
+                    )
+                outcome["answered"] += len(expected)
+
+    try:
+        for _ in range(rng.randint(6, 14)):
+            action = rng.choice(ACTIONS)
+            if action == "translate":
+                text = rng.choice(POOL)
+                pending.append(
+                    ("translate", text, asyncio.ensure_future(client.translate(text)))
+                )
+            elif action == "batch":
+                texts = [rng.choice(POOL) for _ in range(rng.randint(2, 5))]
+                pending.append(
+                    ("batch", texts, asyncio.ensure_future(client.translate_batch(texts)))
+                )
+            elif action == "metrics":
+                pending.append(("metrics", None, asyncio.ensure_future(client.metrics())))
+            elif action == "stats":
+                pending.append(("stats", None, asyncio.ensure_future(client.stats())))
+            elif action == "flush":
+                pending.append(("flush", None, asyncio.ensure_future(client.flush())))
+            elif action == "drop":
+                # Vanish mid-pipeline: whatever is in flight is abandoned,
+                # then a new connection picks the script back up.
+                for _kind, _expected, task in pending:
+                    task.cancel()
+                await client.close()
+                await asyncio.gather(
+                    *(task for _k, _e, task in pending), return_exceptions=True
+                )
+                pending = []
+                outcome["drops"] += 1
+                client = AsyncServiceClient(port)
+                await client.connect()
+            if len(pending) >= 8 or rng.random() < 0.2:
+                await settle()
+        await settle()
+    finally:
+        await client.close()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_concurrent_random_streams_are_bit_identical(seed):
+    server = TranslationServer(
+        ("127.0.0.1", 0), engine=ENGINE, shards=2, workers=4, max_pending=256
+    )
+    thread = server.serve_in_background()
+    rng = random.Random(seed)
+    outcome = {"answered": 0, "dropped": 0, "drops": 0}
+    clients = 6
+
+    async def storm():
+        seeds = [rng.randint(0, 2**31) for _ in range(clients)]
+        await asyncio.gather(
+            *(_client_storm(server.port, random.Random(s), outcome) for s in seeds)
+        )
+
+    try:
+        asyncio.run(storm())
+        assert outcome["answered"] > 0, "the storm never exercised a translation"
+
+        # Stats consistency after the dust settles.
+        with ServiceClient(port=server.port) as client:
+            stats = client.stats()["stats"]
+            metrics = client.metrics()
+        for row in stats["shards"]:
+            assert row["requests"] == row["hits"] + row["cold"], (
+                f"shard {row['shard']} accounting drifted: {row}"
+            )
+        assert stats["requests"] == sum(r["requests"] for r in stats["shards"])
+        assert stats["hits"] == sum(r["hits"] for r in stats["shards"])
+        counters = metrics["metrics"]["counters"]
+        served = counters.get("hits_total", 0) + counters.get("cold_total", 0)
+        assert served <= stats["requests"], (
+            "daemon metrics claim more served translations than the scheduler saw"
+        )
+        # Every item a client saw answered was served and counted exactly
+        # once (abandoned work may add to served, never subtract).
+        assert served >= outcome["answered"]
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+
+
+def test_storm_survivors_see_flushed_cache_refill():
+    """Flush mid-storm only costs re-translations, never wrong answers —
+    and the cache ends populated (every pool program warm again)."""
+    server = TranslationServer(("127.0.0.1", 0), engine=ENGINE, shards=2, workers=4)
+    thread = server.serve_in_background()
+    try:
+        async def churn():
+            client = AsyncServiceClient(server.port)
+            await client.connect()
+            try:
+                for round_index in range(3):
+                    responses = await asyncio.gather(
+                        *(client.translate(text) for text in POOL)
+                    )
+                    for text, response in zip(POOL, responses):
+                        assert response["ir"] == REFERENCES[text]
+                    if round_index < 2:
+                        await client.flush()
+            finally:
+                await client.close()
+
+        asyncio.run(churn())
+        with ServiceClient(port=server.port) as client:
+            for text in POOL:
+                assert client.translate(text)["cached"] is True
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()

@@ -12,7 +12,7 @@ from repro.regalloc.linear_scan import Location
 
 class TestTopLevelAPI:
     def test_version_and_exports(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
         for name in repro.__all__:
             assert hasattr(repro, name), name
 

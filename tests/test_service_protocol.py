@@ -1,0 +1,390 @@
+"""Wire-level tests of the pipelined ``repro-serve/2`` protocol.
+
+Everything here speaks raw sockets against a live daemon — no client-library
+help — so the frames asserted on are exactly the bytes a foreign client
+would see: id echo on every response, out-of-order completion under
+pipelining, streamed ``translate_batch`` frames, error responses (not dead
+connections) for oversized/malformed frames, and explicit ``overloaded``
+shedding under a tiny admission queue.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.bench.corpus import CorpusSpec, generate_stress_cfg
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.ir import format_function, parse_function
+from repro.pipeline import Pipeline
+from repro.service.server import TranslationServer
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+# --------------------------------------------------------------------------- plumbing
+def _program(seed: int, size: int = 24) -> str:
+    return format_function(generate_ssa_program(GeneratorConfig(seed=seed, size=size)))
+
+
+def _big_program(seed: int = 7, blocks: int = 400) -> str:
+    spec = CorpusSpec(name="wire", seed=seed, blocks=blocks, loop_depth=3, variables=8)
+    return format_function(generate_stress_cfg(spec))
+
+
+def _cold_reference(text: str, engine: str = "us_i") -> str:
+    function = parse_function(text)
+    Pipeline.for_engine(engine).run(function)
+    return format_function(function)
+
+
+class Wire:
+    """A raw-socket protocol speaker: JSON lines out, JSON frames in."""
+
+    def __init__(self, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, **payload) -> None:
+        self.file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self.file.flush()
+
+    def send_raw(self, data: bytes) -> None:
+        self.file.write(data)
+        self.file.flush()
+
+    def read(self) -> dict:
+        line = self.file.readline()
+        assert line, "connection closed while a response was expected"
+        return json.loads(line.decode("utf-8"))
+
+    def read_until_id(self, wanted) -> dict:
+        """Skip frames for other requests until ``wanted``'s arrives."""
+        for _ in range(64):
+            frame = self.read()
+            if frame.get("id") == wanted:
+                return frame
+        raise AssertionError(f"no frame with id {wanted!r} within 64 frames")
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=2, workers=2)
+    thread = server.serve_in_background()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+
+
+@pytest.fixture()
+def wire(server):
+    wire = Wire(server.port)
+    yield wire
+    wire.close()
+
+
+# --------------------------------------------------------------------------- id routing & pipelining
+class TestPipelining:
+    def test_every_response_echoes_its_request_id(self, wire):
+        wire.send(verb="ping", id="alpha")
+        assert wire.read()["id"] == "alpha"
+        wire.send(verb="stats", id=17)
+        assert wire.read()["id"] == 17
+
+    def test_idless_requests_answer_with_null_id(self, wire):
+        wire.send(verb="ping")
+        frame = wire.read()
+        assert frame["ok"] and frame["id"] is None
+
+    def test_light_verb_overtakes_inflight_translation(self, wire):
+        """A ping pipelined behind a cold heavy translate answers first."""
+        text = _big_program(seed=11)
+        wire.send(verb="translate", ir=text, id="slow")
+        wire.send(verb="ping", id="fast")
+        first = wire.read()
+        assert first["id"] == "fast", "inline verb should not queue behind heavy work"
+        second = wire.read()
+        assert second["id"] == "slow" and second["ok"]
+        assert second["ir"] == _cold_reference(text)
+
+    def test_pipelined_heavy_requests_complete_out_of_order(self, wire):
+        """A tiny cold translate overtakes a much larger one on 2 workers.
+
+        The programs must live on *different* shards: same-shard requests
+        serialize on the shard's service lock, by design (digest affinity).
+        """
+        from repro.ir.digest import text_digest
+        from repro.service.scheduler import shard_of
+
+        big = _big_program(seed=12, blocks=600)
+        big_shard = shard_of(text_digest(big), 2)
+        small = next(
+            text
+            for text in (_program(seed=90 + n, size=6) for n in range(16))
+            if shard_of(text_digest(text), 2) != big_shard
+        )
+        wire.send(verb="translate", ir=big, id="big")
+        wire.send(verb="translate", ir=small, id="small")
+        frames = [wire.read(), wire.read()]
+        by_id = {frame["id"]: frame for frame in frames}
+        assert set(by_id) == {"big", "small"} and all(f["ok"] for f in frames)
+        assert by_id["small"]["ir"] == _cold_reference(small)
+        assert by_id["big"]["ir"] == _cold_reference(big)
+        assert frames[0]["id"] == "small", (
+            "a 6-block translate behind a 600-block one should finish first "
+            "when both are in flight"
+        )
+
+    def test_warm_repeat_is_served_inline_off_the_worker_pool(self, wire):
+        """A warm translate skips the executor: the non-blocking probe hit
+        shows up in ``inline_hits_total`` and the response still carries the
+        full hit payload, bit-identical to the cold one."""
+        text = _program(seed=77)
+        wire.send(verb="translate", ir=text, id="cold")
+        cold = wire.read_until_id("cold")
+        assert cold["ok"] and cold["cached"] is False
+        wire.send(verb="translate", ir=text, id="warm")
+        warm = wire.read_until_id("warm")
+        assert warm["ok"] and warm["cached"] is True
+        assert warm["ir"] == cold["ir"] == _cold_reference(text)
+        wire.send(verb="metrics", id="m")
+        counters = wire.read_until_id("m")["metrics"]["counters"]
+        assert counters.get("inline_hits_total", 0) >= 1
+
+    def test_many_pipelined_requests_all_answered_once(self, wire):
+        texts = [_program(seed=200 + index) for index in range(12)]
+        for index, text in enumerate(texts):
+            wire.send(verb="translate", ir=text, id=index)
+        seen = {}
+        for _ in texts:
+            frame = wire.read()
+            assert frame["id"] not in seen, "duplicate response id"
+            seen[frame["id"]] = frame
+        assert set(seen) == set(range(12))
+        for index, text in enumerate(texts):
+            assert seen[index]["ir"] == _cold_reference(text)
+
+
+# --------------------------------------------------------------------------- streamed batches
+class TestStreamedBatch:
+    def test_batch_streams_item_frames_then_terminal(self, wire):
+        texts = [_program(seed=300 + index) for index in range(6)]
+        wire.send(verb="translate_batch", irs=texts, id="batch")
+        items, terminal = {}, None
+        while terminal is None:
+            frame = wire.read()
+            assert frame["id"] == "batch"
+            if frame.get("done"):
+                terminal = frame
+            else:
+                assert frame["ok"] and frame["done"] is False
+                assert frame["item"] not in items, "item streamed twice"
+                items[frame["item"]] = frame
+        assert terminal["ok"] and terminal["count"] == 6 and terminal["errors"] == 0
+        assert set(items) == set(range(6))
+        for index, text in enumerate(texts):
+            assert items[index]["ir"] == _cold_reference(text)
+
+    def test_batch_item_failures_stream_without_aborting_the_rest(self, wire):
+        texts = [_program(seed=310), "function broken(", _program(seed=311)]
+        wire.send(verb="translate_batch", irs=texts, id="mixed")
+        frames = [wire.read() for _ in range(4)]
+        terminal = frames[-1]
+        assert terminal["done"] and terminal["ok"] and terminal["errors"] == 1
+        by_item = {f["item"]: f for f in frames[:-1]}
+        assert not by_item[1]["ok"] and "error" in by_item[1]
+        assert by_item[0]["ok"] and by_item[2]["ok"]
+
+    def test_batch_with_bad_irs_field_is_one_error_frame(self, wire):
+        wire.send(verb="translate_batch", irs="not-a-list", id="bad")
+        frame = wire.read()
+        assert frame["id"] == "bad" and not frame["ok"]
+        assert "irs" in frame["error"]
+
+    def test_batch_with_unknown_engine_fails_fast(self, wire):
+        wire.send(verb="translate_batch", irs=[_program(seed=320)],
+                  engine="nonsense", id="eng")
+        frame = wire.read()
+        assert frame["id"] == "eng" and not frame["ok"]
+        assert "unknown engine" in frame["error"]
+
+    def test_interleaved_batches_route_frames_by_id(self, wire):
+        """Two pipelined batches: every frame labels its batch and item."""
+        a = [_program(seed=330 + i) for i in range(4)]
+        b = [_program(seed=340 + i) for i in range(4)]
+        wire.send(verb="translate_batch", irs=a, id="A")
+        wire.send(verb="translate_batch", irs=b, id="B")
+        done, got = set(), {"A": {}, "B": {}}
+        while len(done) < 2:
+            frame = wire.read()
+            assert frame["id"] in ("A", "B")
+            if frame.get("done"):
+                done.add(frame["id"])
+            else:
+                got[frame["id"]][frame["item"]] = frame["ir"]
+        for texts, key in ((a, "A"), (b, "B")):
+            assert set(got[key]) == set(range(4))
+            for index, text in enumerate(texts):
+                assert got[key][index] == _cold_reference(text)
+
+
+# --------------------------------------------------------------------------- malformed input
+class TestMalformedFrames:
+    def test_malformed_json_gets_error_and_connection_survives(self, wire):
+        wire.send_raw(b"this is not json\n")
+        frame = wire.read()
+        assert not frame["ok"] and "malformed" in frame["error"]
+        wire.send(verb="ping", id="after")
+        assert wire.read_until_id("after")["ok"]
+
+    def test_non_object_json_gets_error(self, wire):
+        wire.send_raw(b"42\n")
+        frame = wire.read()
+        assert not frame["ok"] and frame["id"] is None
+
+    def test_unknown_verb_echoes_id_in_error(self, wire):
+        wire.send(verb="frobnicate", id="u1")
+        frame = wire.read()
+        assert frame["id"] == "u1" and not frame["ok"]
+        assert "unknown verb" in frame["error"]
+
+    def test_translate_without_ir_is_an_error_response(self, wire):
+        wire.send(verb="translate", id="noir")
+        frame = wire.read_until_id("noir")
+        assert not frame["ok"] and "ir" in frame["error"]
+
+    def test_oversized_frame_rejected_without_killing_connection(self):
+        server = TranslationServer(
+            ("127.0.0.1", 0), engine="us_i", shards=1, max_frame=64 * 1024
+        )
+        thread = server.serve_in_background()
+        wire = Wire(server.port)
+        try:
+            huge = json.dumps({"verb": "translate", "ir": "x" * (128 * 1024)})
+            wire.send_raw(huge.encode("utf-8") + b"\n")
+            frame = wire.read()
+            assert not frame["ok"]
+            # The dropped buffer's tail may surface as extra malformed-frame
+            # errors; a tagged ping must still come back on this connection.
+            wire.send(verb="ping", id="survivor")
+            assert wire.read_until_id("survivor")["ok"]
+        finally:
+            wire.close()
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+    def test_truncated_frame_does_not_kill_the_daemon(self, server):
+        first = Wire(server.port)
+        first.send_raw(b'{"verb": "ping", "id": "half')  # no newline, then vanish
+        first.close()
+        second = Wire(server.port)
+        try:
+            second.send(verb="ping", id="alive")
+            assert second.read_until_id("alive")["ok"]
+        finally:
+            second.close()
+
+
+# --------------------------------------------------------------------------- admission control
+class TestOverload:
+    def test_zero_queue_sheds_every_heavy_request(self):
+        server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=1,
+                                   max_pending=0)
+        thread = server.serve_in_background()
+        wire = Wire(server.port)
+        try:
+            wire.send(verb="translate", ir=_program(seed=400), id="shed")
+            frame = wire.read_until_id("shed")
+            assert not frame["ok"] and frame["overloaded"] is True
+            # Light verbs are never shed.
+            wire.send(verb="ping", id="p")
+            assert wire.read_until_id("p")["ok"]
+            wire.send(verb="metrics", id="m")
+            metrics = wire.read_until_id("m")
+            assert metrics["metrics"]["counters"]["overloaded_total"] >= 1
+        finally:
+            wire.close()
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+    def test_tiny_queue_sheds_the_pileup_but_serves_the_admitted(self):
+        """One slot, one worker: the first request runs, the pileup sheds."""
+        server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=1,
+                                   workers=1, max_pending=1)
+        thread = server.serve_in_background()
+        wire = Wire(server.port)
+        try:
+            slow = _big_program(seed=401, blocks=500)
+            # One write for the whole pileup: the daemon reads all six
+            # requests back-to-back while the slow one still occupies the
+            # queue's only slot, so the shed count is deterministic.
+            lines = [json.dumps({"verb": "translate", "ir": slow, "id": 0})]
+            lines += [
+                json.dumps({"verb": "translate",
+                            "ir": _program(seed=410 + index), "id": index})
+                for index in range(1, 6)
+            ]
+            wire.send_raw(("\n".join(lines) + "\n").encode("utf-8"))
+            frames = {}
+            for _ in range(6):
+                frame = wire.read()
+                frames[frame["id"]] = frame
+            assert frames[0]["ok"], "the admitted request must still be served"
+            assert frames[0]["ir"] == _cold_reference(slow)
+            shed = [f for f in frames.values() if f.get("overloaded")]
+            assert len(shed) == 5, "every request beyond the queue limit sheds"
+        finally:
+            wire.close()
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+    def test_batch_cost_counts_items_against_the_queue(self):
+        server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=1,
+                                   max_pending=2)
+        thread = server.serve_in_background()
+        wire = Wire(server.port)
+        try:
+            texts = [_program(seed=420 + index) for index in range(4)]
+            wire.send(verb="translate_batch", irs=texts, id="toolarge")
+            frame = wire.read_until_id("toolarge")
+            assert not frame["ok"] and frame["overloaded"] is True
+        finally:
+            wire.close()
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+
+# --------------------------------------------------------------------------- shutdown drain
+class TestShutdownDrain:
+    def test_shutdown_drains_inflight_pipelined_requests(self):
+        server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=1)
+        thread = server.serve_in_background()
+        wire = Wire(server.port)
+        try:
+            text = _big_program(seed=430, blocks=400)
+            wire.send(verb="translate", ir=text, id="inflight")
+            wire.send(verb="shutdown", id="stop")
+            ack = wire.read()
+            assert ack["id"] == "stop" and ack["ok"] and ack["stopping"]
+            drained = wire.read()
+            assert drained["id"] == "inflight" and drained["ok"], (
+                "shutdown must drain the in-flight translation, not drop it"
+            )
+            assert drained["ir"] == _cold_reference(text)
+        finally:
+            wire.close()
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+            server.server_close()

@@ -1,0 +1,279 @@
+"""Transport fault injection: abusive clients must not hurt the daemon.
+
+The seeded-fault style of ``tests/test_verify_faults.py`` applied to the
+socket layer: a table of named faults — mid-frame disconnects, abandoned
+pipelines, garbage bytes, byte-dribbled frames — each injected against a
+live daemon, followed by the same three invariants every time:
+
+1. **liveness** — a fresh connection still gets served;
+2. **no leaks** — every in-flight task retires and the admission queue
+   returns to zero (abandoned requests are cancelled, not stranded);
+3. **warm-state integrity** — a program translated before the fault still
+   answers from cache afterwards, bit-identical to the cold reference.
+"""
+
+import json
+import socket
+import struct
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import pytest
+
+from repro.bench.corpus import CorpusSpec, generate_stress_cfg
+from repro.bench.generator import GeneratorConfig, generate_ssa_program
+from repro.ir import format_function, parse_function
+from repro.pipeline import Pipeline
+from repro.service.client import ServiceClient
+from repro.service.server import TranslationServer
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+
+
+def _program(seed: int, size: int = 24) -> str:
+    return format_function(generate_ssa_program(GeneratorConfig(seed=seed, size=size)))
+
+
+def _big_program(seed: int, blocks: int = 300) -> str:
+    spec = CorpusSpec(name="fault", seed=seed, blocks=blocks, loop_depth=3, variables=8)
+    return format_function(generate_stress_cfg(spec))
+
+
+def _cold_reference(text: str) -> str:
+    function = parse_function(text)
+    Pipeline.for_engine("us_i").run(function)
+    return format_function(function)
+
+
+def _wait_until(predicate: Callable[[], bool], timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+def _abort(sock: socket.socket) -> None:
+    """Close with RST (SO_LINGER 0): the rudest possible disconnect."""
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    sock.close()
+
+
+def _frame(**payload) -> bytes:
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+# --------------------------------------------------------------------------- the fault table
+@dataclass
+class TransportFault:
+    """One scripted abusive-client behaviour against a live daemon."""
+
+    name: str
+    description: str
+    inject: Callable[[TranslationServer], None]
+
+
+def _mid_frame_disconnect(server: TranslationServer) -> None:
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+    sock.sendall(b'{"verb": "translate", "ir": "function half(')
+    _abort(sock)
+
+
+def _mid_pipeline_disconnect(server: TranslationServer) -> None:
+    """Pipeline a batch plus singles, then vanish without reading a byte."""
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+    batch = [_big_program(seed=50 + index) for index in range(4)]
+    data = _frame(verb="translate_batch", irs=batch, id="doomed")
+    data += b"".join(
+        _frame(verb="translate", ir=_big_program(seed=60 + index), id=index)
+        for index in range(3)
+    )
+    sock.sendall(data)
+    time.sleep(0.05)  # let the daemon admit the work before the rug-pull
+    _abort(sock)
+
+
+def _disconnect_between_batch_frames(server: TranslationServer) -> None:
+    """Read one streamed item frame, then abort mid-stream."""
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+    sock.sendall(_frame(
+        verb="translate_batch",
+        irs=[_big_program(seed=70 + index) for index in range(4)],
+        id="stream",
+    ))
+    handle = sock.makefile("rb")
+    handle.readline()  # one item frame arrives, the client dies
+    _abort(sock)
+
+
+def _garbage_bytes(server: TranslationServer) -> None:
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+    sock.sendall(b"\x00\xff\xfe garbage \n\n{not json}\n\x01\x02\n")
+    sock.close()
+
+
+def _empty_connection_storm(server: TranslationServer) -> None:
+    for _ in range(16):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        _abort(sock)
+
+
+TRANSPORT_FAULTS = [
+    TransportFault(
+        "mid_frame_disconnect",
+        "connection reset halfway through writing one request frame",
+        _mid_frame_disconnect,
+    ),
+    TransportFault(
+        "mid_pipeline_disconnect",
+        "a batch and three translations in flight when the client vanishes",
+        _mid_pipeline_disconnect,
+    ),
+    TransportFault(
+        "disconnect_between_batch_frames",
+        "client reads one streamed batch frame then resets the connection",
+        _disconnect_between_batch_frames,
+    ),
+    TransportFault(
+        "garbage_bytes",
+        "binary garbage and non-JSON lines, then a clean close",
+        _garbage_bytes,
+    ),
+    TransportFault(
+        "empty_connection_storm",
+        "sixteen connect-then-reset cycles with no bytes sent",
+        _empty_connection_storm,
+    ),
+]
+
+
+@pytest.fixture()
+def server():
+    server = TranslationServer(("127.0.0.1", 0), engine="us_i", shards=2, workers=2)
+    thread = server.serve_in_background()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+
+
+class TestTransportFaults:
+    @pytest.mark.parametrize(
+        "fault", TRANSPORT_FAULTS, ids=[fault.name for fault in TRANSPORT_FAULTS]
+    )
+    def test_fault_leaves_daemon_healthy(self, server, fault):
+        canary = _program(seed=1)
+        reference = _cold_reference(canary)
+        with ServiceClient(port=server.port) as client:
+            warmed = client.translate(canary)
+        assert warmed["ir"] == reference and not warmed["cached"]
+
+        fault.inject(server)
+
+        # 2. No leaks: abandoned work is cancelled/retired, the admission
+        #    queue drains back to zero, the connection set empties.
+        assert _wait_until(
+            lambda: server.inflight_tasks == 0 and server.pending_requests == 0
+        ), (
+            f"{fault.name}: leaked {server.inflight_tasks} tasks, "
+            f"{server.pending_requests} pending items"
+        )
+        assert _wait_until(lambda: server.open_connections == 0), (
+            f"{fault.name}: {server.open_connections} connections leaked"
+        )
+
+        # 1 & 3. Liveness and warm-state integrity on a fresh connection.
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()["ok"]
+            served = client.translate(canary)
+            assert served["cached"] is True, (
+                f"{fault.name}: the warm cache lost (or never kept) the canary"
+            )
+            assert served["ir"] == reference, (
+                f"{fault.name}: warm state corrupted — response diverged from cold"
+            )
+
+    def test_fault_storm_then_full_batch_still_bit_identical(self, server):
+        """All faults back to back, then a real batch must come out exact."""
+        for fault in TRANSPORT_FAULTS:
+            fault.inject(server)
+        assert _wait_until(
+            lambda: server.inflight_tasks == 0 and server.pending_requests == 0
+        )
+        texts = [_program(seed=80 + index) for index in range(8)]
+        with ServiceClient(port=server.port) as client:
+            responses = client.translate_batch(texts)
+        for text, response in zip(texts, responses):
+            assert response["ir"] == _cold_reference(text)
+
+
+class TestDribbledWrites:
+    def test_byte_dribbled_frame_is_reassembled_and_served(self, server):
+        """A frame delivered in tiny delayed chunks still parses as one."""
+        text = _program(seed=5)
+        data = _frame(verb="translate", ir=text, id="dribble")
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+        try:
+            chunk = max(1, len(data) // 40)
+            for start in range(0, len(data), chunk):
+                sock.sendall(data[start : start + chunk])
+                time.sleep(0.002)
+            handle = sock.makefile("rb")
+            frame = json.loads(handle.readline().decode("utf-8"))
+            assert frame["id"] == "dribble" and frame["ok"]
+            assert frame["ir"] == _cold_reference(text)
+        finally:
+            sock.close()
+
+    def test_two_frames_in_one_segment_are_both_served(self, server):
+        a, b = _program(seed=6), _program(seed=7)
+        payload = _frame(verb="translate", ir=a, id="a") + _frame(
+            verb="translate", ir=b, id="b"
+        )
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+        try:
+            sock.sendall(payload)
+            handle = sock.makefile("rb")
+            frames = [json.loads(handle.readline()) for _ in range(2)]
+            by_id = {frame["id"]: frame for frame in frames}
+            assert by_id["a"]["ir"] == _cold_reference(a)
+            assert by_id["b"]["ir"] == _cold_reference(b)
+        finally:
+            sock.close()
+
+
+class TestSlowReaderBackpressure:
+    def test_slow_reader_gets_every_response_intact(self, server):
+        """A client that stops reading stalls the daemon's writes (drain),
+        not its correctness: once the client catches up, every pipelined
+        response arrives exactly once with exact payloads."""
+        text = _big_program(seed=90, blocks=400)
+        reference = _cold_reference(text)
+        with ServiceClient(port=server.port) as warmup:
+            assert warmup.translate(text)["ir"] == reference
+
+        requests = 48  # warm hits of a large payload: megabytes of responses
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=60)
+        try:
+            for index in range(requests):
+                sock.sendall(_frame(verb="translate", ir=text, id=index))
+            time.sleep(0.75)  # do not read: buffers fill, the daemon pauses
+            handle = sock.makefile("rb")
+            seen = set()
+            for _ in range(requests):
+                frame = json.loads(handle.readline())
+                assert frame["ok"] and frame["cached"] is True
+                assert frame["ir"] == reference
+                assert frame["id"] not in seen
+                seen.add(frame["id"])
+            assert seen == set(range(requests))
+        finally:
+            sock.close()
+        assert _wait_until(
+            lambda: server.inflight_tasks == 0 and server.pending_requests == 0
+        )
