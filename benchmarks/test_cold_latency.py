@@ -1,0 +1,38 @@
+"""Cold-translation latency — the flat arena core vs the objects core.
+
+The ``bench``-tier acceptance lane of the ``--core flat`` representation: the
+5k- and 10k-block stress corpus functions are translated end to end (the full
+``us_i`` out-of-SSA pipeline, cold analyses every run) under both IR cores,
+interleaved within every repeat so machine load hits both sides.  The harness
+asserts output bit-identity (IR text plus all stats counters, timing fields
+excepted) on every repeat; this test asserts the headline claim — the flat
+core is at least 2x faster cold at both sizes — and writes the table to
+``benchmarks/results/cold_latency.txt``.
+
+Scaling knobs (shared CI runners shrink the corpus, the scheduled stress lane
+uploads the table as an artifact):
+
+* ``REPRO_STRESS_SCALE`` — multiplies both corpus sizes (default 1.0);
+* ``REPRO_COLD_SPEEDUP_MIN`` — the asserted floor on the flat-vs-objects
+  cold speedup at both points (default 2.0, the representation's acceptance
+  bar; measured locally ~2.3x at 5k blocks and ~3x at 10k).
+"""
+
+import os
+
+from benchmarks.conftest import write_result
+from repro.bench.corpus import scaled_specs
+from repro.bench.harness import run_cold_latency
+from repro.bench.reporting import format_cold_latency
+
+
+def test_cold_latency_speedup_and_identity(results_dir):
+    scale = float(os.environ.get("REPRO_STRESS_SCALE", "1.0"))
+    specs = scaled_specs([5000, 10000], scale=scale)
+    rows = run_cold_latency(specs, engine="us_i", repeats=3)  # identity checked inside
+    table = format_cold_latency(rows)
+    write_result(results_dir, "cold_latency.txt", table)
+
+    minimum = float(os.environ.get("REPRO_COLD_SPEEDUP_MIN", "2.0"))
+    for row in rows:
+        assert row.speedup >= minimum, table

@@ -45,6 +45,7 @@ from repro.ir.editlog import EditLog
 from repro.ir.function import Function
 from repro.ir.instructions import Branch, Constant, Copy, Jump, Op, Return, Variable
 from repro.liveness.bitsets import BitLivenessSets
+from repro.liveness.flatcore import FlatBitLiveness, FlatIncrementalBitLiveness
 from repro.liveness.incremental import IncrementalBitLiveness
 
 _OPCODES = ("add", "sub", "mul", "and", "or", "xor", "min", "max")
@@ -402,6 +403,7 @@ def run_stress(
     repeats: int = 3,
     edit_seed: int = 1,
     check_identical: bool = True,
+    core: str = "flat",
 ) -> List[StressRow]:
     """Run the three-way liveness comparison over every spec.
 
@@ -416,16 +418,28 @@ def run_stress(
     * cold SCC-seeded solve of the same,
     * the incremental re-solve (``apply_edits``) patching the warm rows.
 
+    ``core`` picks the solver classes: ``"flat"`` (the engine default) runs
+    the cold solves over a privately lowered :class:`~repro.ir.flat.FlatFunction`
+    arena — each cold time *includes* that lowering, and the SCC seeding
+    reuses the arena's edge table for its Tarjan walk, so condensation
+    ordering no longer taxes the cold solve; ``"objects"`` keeps the
+    original object-graph walks.  Convergence counts are identical between
+    the cores (the property suite diffs them row-for-row).
+
     With ``check_identical`` (the default) every repeat asserts that all
     three agree row-for-row on every block.
     """
+    if core == "flat":
+        cold_class, warm_class = FlatBitLiveness, FlatIncrementalBitLiveness
+    else:
+        cold_class, warm_class = BitLivenessSets, IncrementalBitLiveness
     rows: List[StressRow] = []
     for spec in specs:
         row = StressRow(spec=spec)
         best_rpo = best_scc = best_inc = None
         for repeat in range(max(1, repeats)):
             function = generate_stress_cfg(spec)
-            warm = IncrementalBitLiveness(function)
+            warm = warm_class(function)
             log = random_edit_batch(function, seed=edit_seed)
 
             began = time.perf_counter()
@@ -433,11 +447,11 @@ def run_stress(
             inc_seconds = time.perf_counter() - began
 
             began = time.perf_counter()
-            cold_rpo = BitLivenessSets(function, seed="rpo")
+            cold_rpo = cold_class(function, seed="rpo")
             rpo_seconds = time.perf_counter() - began
 
             began = time.perf_counter()
-            cold_scc = BitLivenessSets(function, seed="scc")
+            cold_scc = cold_class(function, seed="scc")
             scc_seconds = time.perf_counter() - began
 
             if check_identical:

@@ -171,6 +171,9 @@ class Figure7Row:
     #: Measured bytes of the interference bit-matrix alone (0 for the query
     #: backend) — read next to the ``ceil(n/8) * n/2`` evaluated formula.
     measured_matrix: Dict[str, int] = field(default_factory=dict)
+    #: Measured bytes of the flat arena tables (``OutOfSSAStats.flat_bytes``;
+    #: 0 when the objects core ran) — the price of the ``--core flat`` sweeps.
+    measured_flat: Dict[str, int] = field(default_factory=dict)
     ratios: Dict[str, float] = field(default_factory=dict)
 
     def compute_ratios(self, baseline: str = "sreedhar_iii") -> None:
@@ -187,6 +190,7 @@ def run_figure7(
     maxima: Dict[str, int] = {engine.name: 0 for engine in engines}
     totals: Dict[str, MemoryFootprint] = {engine.name: MemoryFootprint() for engine in engines}
     matrix_totals: Dict[str, int] = {engine.name: 0 for engine in engines}
+    flat_totals: Dict[str, int] = {engine.name: 0 for engine in engines}
     sessions = {engine.name: Session(engine) for engine in engines}
 
     for functions in suite.values():
@@ -197,6 +201,7 @@ def run_figure7(
                 totals[engine.name] = totals[engine.name] + footprint
                 maxima[engine.name] = max(maxima[engine.name], footprint.measured_peak)
                 matrix_totals[engine.name] += result.stats.matrix_bytes
+                flat_totals[engine.name] += result.stats.flat_bytes
 
     # The evaluated closed forms are accumulated suite-wide, so they are only
     # meaningful next to the "total" metric; the maximum row carries none
@@ -211,9 +216,100 @@ def run_figure7(
         evaluated_ordered={name: fp.evaluated_ordered_sets for name, fp in totals.items()},
         evaluated_bitset={name: fp.evaluated_bit_sets for name, fp in totals.items()},
         measured_matrix=dict(matrix_totals),
+        measured_flat=dict(flat_totals),
     )
     total_row.compute_ratios()
     return [maximum_row, total_row]
+
+
+# --------------------------------------------------------------------------- cold latency
+@dataclass
+class ColdLatencyRow:
+    """Flat-core vs objects-core cold translation of one stress corpus spec."""
+
+    engine: str = ""
+    blocks: int = 0
+    variables: int = 0
+    objects_seconds: float = 0.0   #: best-of-repeats, ``--core objects``
+    flat_seconds: float = 0.0      #: best-of-repeats, ``--core flat``
+    #: Arena lowering time inside the best flat run (already included in
+    #: ``flat_seconds`` — reported so the one-time cost is visible).
+    lowering_ms: float = 0.0
+    flat_bytes: int = 0            #: arena table bytes of the best flat run
+
+    @property
+    def speedup(self) -> float:
+        """Objects-core wall-clock over flat-core wall-clock (cold)."""
+        if not self.flat_seconds:
+            return 0.0
+        return self.objects_seconds / self.flat_seconds
+
+
+#: Stats fields excluded from the cross-core identity comparison: wall-clock
+#: and representation-provenance values, everything else must agree exactly.
+_CORE_TIMING_FIELDS = ("elapsed_seconds", "core", "lowering_ms", "flat_bytes", "verify_ms")
+
+
+def run_cold_latency(
+    specs,
+    engine: "EngineLike" = "us_i",
+    repeats: int = 3,
+    check_identical: bool = True,
+) -> List[ColdLatencyRow]:
+    """Cold end-to-end translation: the flat arena core vs the objects core.
+
+    Per repeat the spec's function is regenerated *fresh for each core*
+    (translation mutates its input) and pushed through the full out-of-SSA
+    pipeline; the two cores are interleaved inside every repeat so machine
+    load spikes hit both sides, and the rows carry best-of-repeats
+    wall-clocks.  With ``check_identical`` (the default) every repeat asserts
+    the two cores produced the same output IR text *and* the same stats
+    counters (timing and representation-provenance fields excepted) — the
+    speedup claim is only meaningful over bit-identical work.
+    """
+    from dataclasses import asdict
+    from dataclasses import replace as dc_replace
+
+    from repro.bench.corpus import generate_stress_cfg
+    from repro.ir.printer import format_function
+    from repro.pipeline.pipeline import Pipeline, resolve_engine
+
+    base = resolve_engine(engine)
+    pipelines = {
+        core: Pipeline.for_engine(dc_replace(base, core=core))
+        for core in ("objects", "flat")
+    }
+
+    rows: List[ColdLatencyRow] = []
+    for spec in specs:
+        row = ColdLatencyRow(engine=base.name)
+        best: Dict[str, Optional[float]] = {"objects": None, "flat": None}
+        for repeat in range(max(1, repeats)):
+            outputs = {}
+            for core, pipeline in pipelines.items():
+                function = generate_stress_cfg(spec)
+                row.blocks = len(function.blocks)
+                row.variables = len(function.variables())
+                began = time.perf_counter()
+                result = pipeline.run(function)
+                seconds = time.perf_counter() - began
+                stats = asdict(result.stats)
+                for name in _CORE_TIMING_FIELDS:
+                    stats.pop(name, None)
+                outputs[core] = (format_function(function), stats)
+                if best[core] is None or seconds < best[core]:
+                    best[core] = seconds
+                    if core == "flat":
+                        row.lowering_ms = result.stats.lowering_ms
+                        row.flat_bytes = result.stats.flat_bytes
+            if check_identical and outputs["objects"] != outputs["flat"]:
+                raise AssertionError(
+                    f"cores diverged on {spec.describe()} (repeat {repeat})"
+                )
+        row.objects_seconds = best["objects"] or 0.0
+        row.flat_seconds = best["flat"] or 0.0
+        rows.append(row)
+    return rows
 
 
 # --------------------------------------------------------------------------- headline

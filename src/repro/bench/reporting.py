@@ -100,6 +100,7 @@ def format_figure7(rows: List[Figure7Row]) -> str:
             ("evaluated ordered", row.evaluated_ordered),
             ("evaluated bit-sets", row.evaluated_bitset),
             ("measured matrix", row.measured_matrix),
+            ("measured flat tables", row.measured_flat),
         ):
             if not evaluated:
                 continue
@@ -135,6 +136,35 @@ def format_stress(rows) -> str:
             str(row.scc_iterations),
             str(row.incremental_iterations),
             str(row.seeded_blocks),
+        ])
+    return _format_table(headers, table_rows)
+
+
+def format_cold_latency(rows) -> str:
+    """The cold-latency experiment: flat arena core vs objects core.
+
+    One line per corpus size; times are best-of-repeats cold end-to-end
+    translations (parse-free: the generated function goes straight into the
+    pipeline), ``lowering`` is the one-time arena build *inside* the flat
+    time, ``tables`` the measured arena byte size, and ``speedup`` the
+    objects-core wall-clock over the flat-core one.  Output bit-identity
+    between the cores is asserted inside the harness on every repeat.
+    """
+    headers = [
+        "blocks", "vars", "engine", "objects (ms)", "flat (ms)",
+        "lowering (ms)", "tables (KiB)", "speedup",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            str(row.blocks),
+            str(row.variables),
+            row.engine,
+            f"{row.objects_seconds * 1e3:.2f}",
+            f"{row.flat_seconds * 1e3:.2f}",
+            f"{row.lowering_ms:.2f}",
+            str(row.flat_bytes // 1024),
+            f"{row.speedup:.2f}x",
         ])
     return _format_table(headers, table_rows)
 

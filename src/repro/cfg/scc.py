@@ -15,14 +15,90 @@ The implementation is Tarjan's algorithm, made iterative (stress CFGs reach
 thousands of blocks, far beyond the recursion limit) and deterministic:
 roots are visited entry-first then in block-declaration order, successors in
 terminator order, and members of each component are reported in discovery
-order.
+order.  The walk itself runs over a flat successor table
+(:func:`flat_strongly_connected_components`, integer block ids + one CSR
+edge array) rather than per-block label lookups — the same table layout
+:class:`~repro.ir.flat.FlatFunction` keeps, so both the object path and the
+flat core share one condensation walk.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ir.function import Function
+
+
+def flat_strongly_connected_components(
+    num_blocks: int,
+    succ_off: Sequence[int],
+    succ_ids: Sequence[int],
+    roots: Sequence[int],
+) -> List[List[int]]:
+    """Tarjan over a CSR successor table (``succ_off``/``succ_ids``).
+
+    Blocks are dense integer ids ``0 .. num_blocks-1``; block ``b``'s
+    successors are ``succ_ids[succ_off[b]:succ_off[b+1]]``.  Components are
+    emitted in reverse topological order of the condensation, members in
+    discovery order — exactly the contract of
+    :func:`strongly_connected_components`, which delegates here.
+    """
+    index = array("l", [-1]) * num_blocks
+    lowlink = array("l", [0]) * num_blocks
+    on_stack = bytearray(num_blocks)
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in roots:
+        if index[root] >= 0:
+            continue
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        # Parallel frame stacks: the node and its next-successor cursor.
+        work = [root]
+        cursor = [succ_off[root]]
+        while work:
+            node = work[-1]
+            position = cursor[-1]
+            end = succ_off[node + 1]
+            descended = False
+            while position < end:
+                successor = succ_ids[position]
+                position += 1
+                if index[successor] < 0:
+                    cursor[-1] = position
+                    index[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = 1
+                    work.append(successor)
+                    cursor.append(succ_off[successor])
+                    descended = True
+                    break
+                if on_stack[successor] and index[successor] < lowlink[node]:
+                    lowlink[node] = index[successor]
+            if descended:
+                continue
+            cursor[-1] = position
+            work.pop()
+            cursor.pop()
+            if work and lowlink[node] < lowlink[work[-1]]:
+                lowlink[work[-1]] = lowlink[node]
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
+                    component.append(member)
+                    if member == node:
+                        break
+                component.sort(key=index.__getitem__)
+                components.append(component)
+    return components
 
 
 def strongly_connected_components(function: Function) -> List[List[str]]:
@@ -36,58 +112,23 @@ def strongly_connected_components(function: Function) -> List[List[str]]:
     listed in discovery order.
     """
     labels = list(function.blocks)
+    ids: Dict[str, int] = {label: position for position, label in enumerate(labels)}
+    succ_off = array("l", [0])
+    succ_ids = array("l")
+    for label in labels:
+        for target in function.blocks[label].successor_labels():
+            succ_ids.append(ids[target])
+        succ_off.append(len(succ_ids))
     entry = function.entry_label
-    roots = ([entry] if entry is not None else []) + [
-        label for label in labels if label != entry
-    ]
-
-    successors = function.successors
-    index: Dict[str, int] = {}
-    lowlink: Dict[str, int] = {}
-    on_stack: Set[str] = set()
-    stack: List[str] = []
-    components: List[List[str]] = []
-    counter = 0
-
-    for root in roots:
-        if root in index:
-            continue
-        index[root] = lowlink[root] = counter
-        counter += 1
-        stack.append(root)
-        on_stack.add(root)
-        # Frames hold (label, iterator over remaining successors).
-        work = [(root, iter(successors(root)))]
-        while work:
-            label, remaining = work[-1]
-            descended = False
-            for successor in remaining:
-                if successor not in index:
-                    index[successor] = lowlink[successor] = counter
-                    counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append((successor, iter(successors(successor))))
-                    descended = True
-                    break
-                if successor in on_stack and index[successor] < lowlink[label]:
-                    lowlink[label] = index[successor]
-            if descended:
-                continue
-            work.pop()
-            if work and lowlink[label] < lowlink[work[-1][0]]:
-                lowlink[work[-1][0]] = lowlink[label]
-            if lowlink[label] == index[label]:
-                component: List[str] = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == label:
-                        break
-                component.sort(key=index.__getitem__)
-                components.append(component)
-    return components
+    if entry is None:
+        roots: List[int] = list(range(len(labels)))
+    else:
+        entry_id = ids[entry]
+        roots = [entry_id] + [i for i in range(len(labels)) if i != entry_id]
+    components = flat_strongly_connected_components(
+        len(labels), succ_off, succ_ids, roots
+    )
+    return [[labels[member] for member in component] for component in components]
 
 
 def condensation_order(function: Function) -> List[List[str]]:

@@ -69,6 +69,7 @@ from repro.coalescing.variants import VARIANTS
 from repro.interp import run_function
 from repro.ir import ValidationError, format_function, parse_function, validate_function
 from repro.outofssa.config import (
+    CORE_BACKENDS,
     ENGINE_CONFIGURATIONS,
     INTERFERENCE_BACKENDS,
     LIVENESS_BACKENDS,
@@ -131,6 +132,8 @@ def _resolve_engine_config(args: argparse.Namespace) -> EngineConfig:
             builder.interference(args.interference)
         if getattr(args, "verify", None):
             builder.verify(args.verify)
+        if getattr(args, "core", None):
+            builder.core(args.core)
         return builder.build()
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -164,6 +167,10 @@ def command_translate(args: argparse.Namespace) -> int:
         print(f"# copies remaining     : {counts.static_copies}", file=sys.stderr)
         print(f"# constant moves       : {counts.constant_moves}", file=sys.stderr)
         print(f"# translation time (ms): {result.stats.elapsed_seconds * 1e3:.3f}", file=sys.stderr)
+        print(f"# ir core              : {result.stats.core}", file=sys.stderr)
+        if result.stats.core == "flat":
+            print(f"# arena lowering (ms)  : {result.stats.lowering_ms:.3f}", file=sys.stderr)
+            print(f"# arena tables (bytes) : {result.stats.flat_bytes}", file=sys.stderr)
         if report is not None:
             print(f"# verify time (ms)     : {result.stats.verify_ms:.3f}", file=sys.stderr)
     if report is not None and report.errors:
@@ -282,24 +289,43 @@ def command_stress(args: argparse.Namespace) -> int:
         variables=args.variables,
         irreducible=args.irreducible,
     )
-    tables = []
-    if args.experiment in ("liveness", "both"):
-        tables.append(format_stress(run_stress(specs, repeats=args.repeats)))
-    if args.experiment in ("interference", "both"):
-        tables.append(
-            format_interference_stress(
-                run_interference_stress(specs, repeats=args.repeats)
-            )
-        )
-    if args.verify != "off":
-        from repro.bench.harness import run_verify_stress
-        from repro.bench.reporting import format_verify_stress
+    profiler = None
+    if args.profile:
+        # Profile exactly the experiment loops (corpus generation included —
+        # it is part of what a cold run pays), not the argument parsing or
+        # the report formatting; see docs/ARCHITECTURE.md ("Profiling").
+        import cProfile
 
-        tables.append(
-            format_verify_stress(
-                run_verify_stress(specs, level=args.verify, engine=args.engine)
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        tables = []
+        if args.experiment in ("liveness", "both"):
+            tables.append(format_stress(run_stress(specs, repeats=args.repeats)))
+        if args.experiment in ("interference", "both"):
+            tables.append(
+                format_interference_stress(
+                    run_interference_stress(specs, repeats=args.repeats)
+                )
             )
-        )
+        if args.verify != "off":
+            from repro.bench.harness import run_verify_stress
+            from repro.bench.reporting import format_verify_stress
+
+            tables.append(
+                format_verify_stress(
+                    run_verify_stress(specs, level=args.verify, engine=args.engine)
+                )
+            )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(
+                f"# profile written to {args.profile} "
+                f"(inspect: python -m pstats {args.profile})",
+                file=sys.stderr,
+            )
     table = "\n\n".join(tables)
     print(table)
     if args.output:
@@ -444,6 +470,7 @@ def _list_catalogue() -> dict:
                 "interference": config.interference,
                 "linear_class_check": config.linear_class_check,
                 "on_branch_def": config.on_branch_def,
+                "core": config.core,
                 "fingerprint": config.fingerprint(),
                 "describe": config.describe(),
             }
@@ -454,6 +481,7 @@ def _list_catalogue() -> dict:
         ],
         "liveness_backends": dict(LIVENESS_BACKENDS),
         "interference_backends": dict(INTERFERENCE_BACKENDS),
+        "cores": dict(CORE_BACKENDS),
         "benchmarks": [
             {"name": spec.name, "functions": spec.functions, "size": spec.size}
             for spec in SUITE
@@ -479,6 +507,10 @@ def command_list(args: argparse.Namespace) -> int:
     print()
     print("interference backends (--interference):")
     for kind, description in INTERFERENCE_BACKENDS.items():
+        print(f"  {kind:14s} {description}")
+    print()
+    print("IR cores (--core):")
+    for kind, description in CORE_BACKENDS.items():
         print(f"  {kind:14s} {description}")
     print()
     print("synthetic benchmarks:")
@@ -509,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="interference backend (see 'repro list'): eager bit-matrix, "
                                 "on-the-fly queries, or the incrementally patched matrix "
                                 "(overrides the engine's backend)")
+    translate.add_argument("--core", default=None, choices=sorted(CORE_BACKENDS),
+                           help="IR core driving the hot sweeps (see 'repro list'): the "
+                                "flat int-array arena (default) or the object-graph "
+                                "reference walks (differential baseline)")
     translate.add_argument("--construct-ssa", action="store_true",
                            help="build SSA first (for non-SSA input files)")
     translate.add_argument("--optimize", action="store_true",
@@ -546,6 +582,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--interference", default=None,
                         choices=sorted(INTERFERENCE_BACKENDS),
                         help="interference backend override (see 'repro list')")
+    verify.add_argument("--core", default=None, choices=sorted(CORE_BACKENDS),
+                        help="IR core override (see 'repro list')")
     verify.add_argument("--level", default="full", choices=("fast", "full"),
                         help="checker depth (fast: structural in/out; full: every stage)")
     verify.add_argument("--json", action="store_true",
@@ -584,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="engine configuration for the --verify table")
     stress.add_argument("--output", default=None,
                         help="also write the table to this file")
+    stress.add_argument("--profile", default=None, metavar="OUT.prof",
+                        help="dump a cProfile of the experiment loops to this "
+                             "file (inspect with python -m pstats, or snakeviz "
+                             "where available)")
     stress.set_defaults(handler=command_stress)
 
     serve = sub.add_parser(

@@ -331,11 +331,24 @@ class MatrixInterference(QueryInterference):
         numbering: Optional[VariableNumbering] = None,
     ) -> None:
         super().__init__(function, oracle, kind, values)
-        self.graph = InterferenceGraph.build(
-            function, self, universe=universe, numbering=numbering
-        )
+        self.graph = self._build_graph(function, universe, numbering)
         #: Pairwise queries answered straight from the matrix.
         self.matrix_hits = 0
+
+    def _build_graph(
+        self,
+        function: Function,
+        universe: Optional[Iterable[Variable]],
+        numbering: Optional[VariableNumbering],
+    ) -> InterferenceGraph:
+        """Construct and populate the adjacency structure.  The flat core
+        (:mod:`repro.interference.flatcore`) overrides this to scan the
+        `FlatFunction` arena instead of the object graph; everything else —
+        the incremental patch path included — runs over the returned graph
+        through the same ``add_edge`` / ``clear_variable`` interface."""
+        return InterferenceGraph.build(
+            function, self, universe=universe, numbering=numbering
+        )
 
     # -- pairwise test -------------------------------------------------------------
     def interferes(self, a, b) -> bool:

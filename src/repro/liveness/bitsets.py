@@ -213,11 +213,37 @@ class BitLivenessSets(LivenessOracle):
             # same discipline.
             self._components = strongly_connected_components(function)
             for index, component in enumerate(self._components):
-                members = set(component)
                 for label in component:
                     self._component_of[label] = index
+            # Runs of *trivial* components (single block, no self-loop) need
+            # no local fixpoint — each block is evaluated exactly once — so
+            # consecutive runs are batched into a single worklist pass in
+            # emission order instead of one `_sweep` call per block.  The
+            # evaluation sequence (and therefore `solver_iterations`) is
+            # identical to the one-component-at-a-time discipline: every
+            # batched block starts queued, and a re-queue can only target a
+            # predecessor, which the reverse-topological emission order
+            # places *later* in the batch, i.e. still queued.  On an acyclic
+            # CFG (all components trivial) the seeding degenerates to one
+            # sweep over all blocks — the cost profile of ``seed="rpo"`` —
+            # which removes the per-component overhead that made cold SCC
+            # solves slower than RPO at the 10k-block stress point.
+            batch: List[str] = []
+            for component in self._components:
+                label = component[0]
+                if len(component) == 1 and label not in function.successors(label):
+                    batch.append(label)
+                    continue
+                if batch:
+                    self._sweep(
+                        live_in, live_out, deque(batch), set(batch), set(batch)
+                    )
+                    batch = []
+                members = set(component)
                 local = sorted(component, key=rpo_position.__getitem__, reverse=True)
                 self._sweep(live_in, live_out, deque(local), set(local), members)
+            if batch:
+                self._sweep(live_in, live_out, deque(batch), set(batch), set(batch))
         else:
             # Backward problem: seed the worklist with the blocks in
             # post-order (last block of the RPO first) so most information

@@ -45,6 +45,16 @@ class OutOfSSAStats:
     prefiltered_merges: int = 0
     #: Measured bytes of the interference bit-matrix (0 for the query backend).
     matrix_bytes: int = 0
+    #: IR core the run used ("flat" arena sweeps or "objects" walks).
+    #: Representation-only — excluded from the cross-core identity checks.
+    core: str = ""
+    #: Wall-clock milliseconds of the one-time flat-arena lowering
+    #: (:class:`~repro.ir.flat.FlatFunction`; 0 when the objects core ran or
+    #: no flat consumer was built).
+    lowering_ms: float = 0.0
+    #: Measured bytes of the flat arena tables — reported next to
+    #: ``matrix_bytes`` in the Figure 7 lane (0 without a flat lowering).
+    flat_bytes: int = 0
     # Inputs to the Figure 7 "evaluated" memory formulas.
     num_blocks: int = 0                #: blocks after copy insertion / splitting
     candidate_variables: int = 0       #: φ-related + copy-related variables

@@ -65,11 +65,17 @@ from repro.cfg.dominance import DominatorTree
 from repro.cfg.frequency import estimate_block_frequencies
 from repro.coalescing.variants import variant_by_name
 from repro.interference.base import InterferenceKind, InterferenceOracle, QueryInterference
+from repro.interference.flatcore import (
+    FlatIncrementalMatrixInterference,
+    FlatMatrixInterference,
+)
 from repro.interference.graph import IncrementalMatrixInterference, MatrixInterference
+from repro.ir.flat import FlatFunction
 from repro.ir.function import Function
 from repro.liveness.base import LivenessOracle
 from repro.liveness.bitsets import BitLivenessSets
 from repro.liveness.dataflow import LivenessSets
+from repro.liveness.flatcore import FlatBitLiveness, FlatIncrementalBitLiveness
 from repro.liveness.incremental import IncrementalBitLiveness
 from repro.liveness.intersection import IntersectionOracle
 from repro.liveness.livecheck import LivenessChecker
@@ -135,10 +141,17 @@ def build_interference_backend(
     needs bit-set liveness rows underneath; when the engine's own liveness
     backend is not :class:`~repro.liveness.incremental.IncrementalBitLiveness`
     a dedicated instance is requested from the cache to back the matrix.
+
+    Cache keys stay the *base* backend types regardless of the engine's
+    ``core``: with ``core="flat"`` the matrix-backed entries are constructed
+    as their flat-core subclasses (sharing the cached
+    :class:`~repro.ir.flat.FlatFunction` arena), which every ``isinstance``
+    check and patch hook downstream sees through unchanged.
     """
     function = cache.function
     kind: InterferenceKind = variant_by_name(cache.config.coalescing).interference
     values = cache.get(ValueTable)
+    flat_core = cache.config.core == "flat"
     if backend_class is None:
         backend_class = cache.interference_class()
     if backend_class is IncrementalMatrixInterference:
@@ -147,12 +160,24 @@ def build_interference_backend(
             oracle = cache.get(IntersectionOracle)
         else:
             oracle = IntersectionOracle(function, live, cache.get(DominatorTree))
+        if flat_core:
+            return FlatIncrementalMatrixInterference(
+                function, oracle, kind, values,
+                universe=universe, numbering=cache.get(VariableNumbering),
+                flat=cache.get(FlatFunction),
+            )
         return IncrementalMatrixInterference(
             function, oracle, kind, values,
             universe=universe, numbering=cache.get(VariableNumbering),
         )
     oracle = cache.get(IntersectionOracle)
     if backend_class is MatrixInterference:
+        if flat_core:
+            return FlatMatrixInterference(
+                function, oracle, kind, values,
+                universe=universe, numbering=cache.get(VariableNumbering),
+                flat=cache.get(FlatFunction),
+            )
         return MatrixInterference(
             function, oracle, kind, values,
             universe=universe, numbering=cache.get(VariableNumbering),
@@ -162,16 +187,41 @@ def build_interference_backend(
 
 AnalysisBuilder = Callable[["AnalysisCache"], object]
 
+def _build_bit_liveness(cache: "AnalysisCache") -> BitLivenessSets:
+    """Bit-set liveness under the `BitLivenessSets` cache key; the engine's
+    ``core`` knob decides the construction (flat arena vs object walk) —
+    the instances are behaviourally and bit-for-bit interchangeable."""
+    if cache.config.core == "flat":
+        return FlatBitLiveness(
+            cache.function,
+            numbering=cache.get(VariableNumbering),
+            flat=cache.get(FlatFunction),
+        )
+    return BitLivenessSets(cache.function, numbering=cache.get(VariableNumbering))
+
+
+def _build_incremental_liveness(cache: "AnalysisCache") -> IncrementalBitLiveness:
+    """Same dispatch for the `IncrementalBitLiveness` cache key."""
+    if cache.config.core == "flat":
+        return FlatIncrementalBitLiveness(
+            cache.function,
+            numbering=cache.get(VariableNumbering),
+            flat=cache.get(FlatFunction),
+        )
+    return IncrementalBitLiveness(
+        cache.function, numbering=cache.get(VariableNumbering)
+    )
+
+
 _DEFAULT_BUILDERS: Dict[type, AnalysisBuilder] = {
     DominatorTree: lambda cache: DominatorTree(cache.function),
     VariableNumbering: lambda cache: VariableNumbering.of_function(cache.function),
+    FlatFunction: lambda cache: FlatFunction(
+        cache.function, cache.get(VariableNumbering)
+    ),
     LivenessSets: lambda cache: LivenessSets(cache.function),
-    BitLivenessSets: lambda cache: BitLivenessSets(
-        cache.function, numbering=cache.get(VariableNumbering)
-    ),
-    IncrementalBitLiveness: lambda cache: IncrementalBitLiveness(
-        cache.function, numbering=cache.get(VariableNumbering)
-    ),
+    BitLivenessSets: _build_bit_liveness,
+    IncrementalBitLiveness: _build_incremental_liveness,
     LivenessChecker: lambda cache: LivenessChecker(cache.function),
     IntersectionOracle: lambda cache: IntersectionOracle(
         cache.function, cache.liveness(), cache.get(DominatorTree)

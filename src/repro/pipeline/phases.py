@@ -27,6 +27,7 @@ from repro.coalescing.sharing import apply_copy_sharing
 from repro.interference.congruence import CongruenceClasses
 from repro.interference.graph import IncrementalMatrixInterference
 from repro.ir.editlog import EditLog
+from repro.ir.flat import FlatFunction
 from repro.ir.function import Function
 from repro.ir.instructions import Constant, Copy, ParallelCopy, Variable
 from repro.liveness.bitsets import BitLivenessSets
@@ -74,6 +75,7 @@ def _patch_incremental_analyses(ctx, log: EditLog, include_checker: bool = True)
     dropping it.
     """
     cache = ctx.analyses
+    flat: Optional[FlatFunction] = cache.cached(FlatFunction)
     live: Optional[IncrementalBitLiveness] = cache.cached(IncrementalBitLiveness)
     checker: Optional[LivenessChecker] = (
         cache.cached(LivenessChecker) if include_checker else None
@@ -81,6 +83,12 @@ def _patch_incremental_analyses(ctx, log: EditLog, include_checker: bool = True)
     matrix: Optional[IncrementalMatrixInterference] = cache.cached(
         IncrementalMatrixInterference
     )
+    if flat is not None:
+        # The arena first: it is pure representation (nothing below reads it
+        # on the warm path), and patching keeps it serveable for any later
+        # cold rebuild instead of being dropped and re-lowered from scratch.
+        flat.apply_edits(log)
+        ctx.patched_analyses.append(FlatFunction)
     if live is not None:
         live.apply_edits(log)
         # The numbering only grew (append-only), so it is vouched for too;
@@ -278,6 +286,10 @@ class MaterializationPass(Pass):
         stats.class_row_checks = ctx.classes.class_row_checks
         stats.intersection_queries = oracle.query_count
         stats.matrix_bytes = ctx.test.matrix_bytes()
+        flat = ctx.analyses.cached(FlatFunction)
+        if flat is not None:
+            stats.lowering_ms = flat.lowering_seconds * 1e3
+            stats.flat_bytes = flat.nbytes
         ctx.rename_map = rename_map
 
 

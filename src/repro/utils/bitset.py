@@ -96,7 +96,7 @@ class BitSet:
             bits ^= low
 
     def __len__(self) -> int:
-        return bin(self._bits).count("1")
+        return self._bits.bit_count()
 
     def __bool__(self) -> bool:
         return self._bits != 0
